@@ -1,0 +1,112 @@
+// Command lfkbench regenerates the tables and figures of the paper's
+// evaluation (Boyd & Davidson, ISCA 1993) on the simulated Convex C-240.
+//
+// Usage:
+//
+//	lfkbench            # everything
+//	lfkbench -table 4   # one table (1-5)
+//	lfkbench -figure 3  # one figure (1-3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"macs/internal/experiments"
+	"macs/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-8; 6 extension, 7 co-simulation, 8 machines); 0 = all")
+	figure := flag.Int("figure", 0, "regenerate one figure (1-3); 0 = all")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	all := *table == 0 && *figure == 0
+	if err := run(cfg, *table, *figure, all); err != nil {
+		fmt.Fprintln(os.Stderr, "lfkbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, table, figure int, all bool) error {
+	if all || table == 1 {
+		res, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Table1(res))
+	}
+	if all || table == 2 {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Table2(rows))
+	}
+	if all || table == 3 {
+		rows, err := experiments.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Table3(rows))
+	}
+	if all || table == 4 {
+		t4, err := experiments.RunTable4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Table4(t4))
+	}
+	if all || table == 5 {
+		rows, err := experiments.RunTable5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Table5(rows))
+	}
+	if all || figure == 1 {
+		hs, err := experiments.Figure1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Figure1(hs))
+	}
+	if all || figure == 2 {
+		fig, err := experiments.RunFigure2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Figure2(fig))
+	}
+	if all || figure == 3 {
+		rows, slow, err := experiments.RunFigure3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Figure3(rows, slow))
+	}
+	if all || table == 6 {
+		rows, err := experiments.RunExtended(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Extended(rows))
+	}
+	if all || table == 7 {
+		rows, err := experiments.RunClusterContention(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Cluster(rows))
+	}
+	if all || table == 8 {
+		rows, err := experiments.RunMachineComparison()
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.MachinesTable(rows))
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+// Command macs is the MACS toolchain driver: it compiles Fortran-subset
+// kernels to Convex-style assembly, computes the MA/MAC/MACS bounds
+// hierarchy, runs programs on the cycle-level C-240 simulator, generates
+// A/X codes, and runs the instruction calibration loops.
+//
+// Usage:
+//
+//	macs compile <kernel.f>        print the compiled assembly
+//	macs bound   <kernel.f>        print the bounds hierarchy
+//	macs sim     <kernel.f> [-n N] compile and simulate (N inner iterations
+//	                               for the CPL conversion)
+//	macs ax      <kernel.f>        print the A-process and X-process codes
+//	macs calib                     run the Table 1 calibration loops
+//	macs lfk <id>                  analyze one case-study kernel
+//
+// A filename of "-" reads from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"macs"
+	"macs/internal/ax"
+	"macs/internal/calib"
+	"macs/internal/report"
+	"macs/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "compile":
+		err = cmdCompile(args)
+	case "bound":
+		err = cmdBound(args)
+	case "sim":
+		err = cmdSim(args)
+	case "ax":
+		err = cmdAX(args)
+	case "calib":
+		err = cmdCalib()
+	case "sweep":
+		err = cmdSweep()
+	case "lfk":
+		err = cmdLFK(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "macs:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: macs {compile|bound|sim|ax} <kernel.f> | macs calib | macs sweep | macs lfk <id>")
+	os.Exit(2)
+}
+
+func readSource(args []string) (string, error) {
+	if len(args) < 1 {
+		return "", fmt.Errorf("missing source file")
+	}
+	if args[0] == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(args[0])
+	return string(b), err
+}
+
+func cmdCompile(args []string) error {
+	src, err := readSource(args)
+	if err != nil {
+		return err
+	}
+	p, err := macs.Compile(src, macs.DefaultCompilerOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.String())
+	return nil
+}
+
+func cmdBound(args []string) error {
+	src, err := readSource(args)
+	if err != nil {
+		return err
+	}
+	res, err := macs.AnalyzeSource(src, 0, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	return nil
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	n := fs.Int64("n", 0, "inner-loop iterations for CPL conversion")
+	var file string
+	if len(args) > 0 && args[0][0] != '-' {
+		file, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := readSource([]string{file})
+	if err != nil {
+		return err
+	}
+	res, err := macs.AnalyzeSource(src, *n, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	fmt.Printf("stats: %d instrs (%d vector), %d chimes, %d memory stall cycles\n",
+		res.Stats.Instrs, res.Stats.VectorInstrs, res.Stats.Chimes, res.Stats.MemStalls)
+	return nil
+}
+
+func cmdAX(args []string) error {
+	src, err := readSource(args)
+	if err != nil {
+		return err
+	}
+	p, err := macs.Compile(src, macs.DefaultCompilerOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Println("; ===== A-process (vector FP deleted) =====")
+	fmt.Print(ax.AProcess(p).String())
+	fmt.Println("; ===== X-process (vector memory deleted) =====")
+	fmt.Print(ax.XProcess(p).String())
+	return nil
+}
+
+func cmdCalib() error {
+	res, err := calib.CalibrateAll(vm.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table1(res))
+	return nil
+}
+
+// cmdSweep prints the VL sweep and half-performance lengths of every
+// Table 1 instruction type.
+func cmdSweep() error {
+	vls := []int{4, 8, 16, 32, 64, 128}
+	fmt.Printf("%-6s", "instr")
+	for _, vl := range vls {
+		fmt.Printf("  VL=%-5d", vl)
+	}
+	fmt.Printf("  n1/2(cold)  n1/2(steady)\n")
+	for _, op := range calib.Table1Ops() {
+		pts, err := calib.VLSweep(op, vls, vm.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6s", op)
+		for _, p := range pts {
+			fmt.Printf("  %-8.2f", p.CyclesPerElem)
+		}
+		cold, steady, err := calib.HalfPerformanceLength(op)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-10.1f  %.1f\n", cold, steady)
+	}
+	fmt.Println("\ncycles per element in steady state; n1/2 is Hockney's half-performance length")
+	return nil
+}
+
+func cmdLFK(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("missing kernel id")
+	}
+	var id int
+	if _, err := fmt.Sscanf(args[0], "%d", &id); err != nil {
+		return err
+	}
+	k, err := macs.KernelByID(id)
+	if err != nil {
+		return err
+	}
+	r, err := macs.RunKernel(k, macs.DefaultExperimentConfig())
+	if err != nil {
+		return err
+	}
+	tma, tmac, tmacs, tp := r.CPLs()
+	fmt.Printf("LFK%d (%s), n=%d, %d flops/iteration\n", k.ID, k.Name, k.N, k.FlopsPerIteration())
+	fmt.Printf("  t_MA   = %7.3f CPL\n", tma)
+	fmt.Printf("  t_MAC  = %7.3f CPL\n", tmac)
+	fmt.Printf("  t_MACS = %7.3f CPL\n", tmacs)
+	fmt.Printf("  t_p    = %7.3f CPL (measured, output validated: %v)\n", tp, r.Validated)
+	fmt.Printf("  t_a    = %7.3f CPL, t_x = %7.3f CPL (A/X measurements)\n",
+		k.CPL(r.AX.TA), k.CPL(r.AX.TX))
+	fmt.Printf("  paper (CPF): t_MA %.3f, t_MAC %.3f, t_MACS %.3f, t_p %.3f\n",
+		k.Paper.TMA, k.Paper.TMAC, k.Paper.TMACS, k.Paper.TP)
+
+	// Extended bound (short vectors, startup, reductions, outer scalars).
+	prog, err := macs.Compile(k.Source, macs.DefaultCompilerOptions())
+	if err != nil {
+		return err
+	}
+	shape := macs.LoopShape{Elements: k.Elements, Entries: k.Entries, OuterScalarOps: 30}
+	if ext, err := macs.ExtendedBoundOf(prog, shape, macs.DefaultRules()); err == nil {
+		fmt.Printf("  t_MACS+ = %7.3f CPL (extended: strips, startup, reductions, scalar)\n", ext)
+	}
+	if d, err := macs.MACSDBoundOf(prog, 128, macs.DefaultRules()); err == nil {
+		fmt.Printf("  t_MACSD = %7.3f CPL (decomposition-aware)\n", d)
+	}
+
+	// Diagnosis per the paper's section 4.4.
+	diag := macs.Diagnose(macs.DiagnosisInputs{
+		Analysis: r.Analysis,
+		TP:       k.CPL(r.AX.TP),
+		TA:       k.CPL(r.AX.TA),
+		TX:       k.CPL(r.AX.TX),
+	})
+	fmt.Printf("\ndiagnosis:\n%s", diag)
+	return nil
+}

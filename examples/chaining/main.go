@@ -1,0 +1,60 @@
+// Chaining: reproduce the paper's Figure 2 — a chained ld/add/mul chime
+// finishing in ~162 cycles where the unchained equivalent needs ~422, and
+// the steady-state chime cost of VL + bubbles — then sweep the vector
+// length to show where chaining pays off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"macs"
+	"macs/internal/experiments"
+	"macs/internal/report"
+)
+
+func main() {
+	fig, err := experiments.RunFigure2(experiments.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Figure2(fig))
+
+	// Sweep VL: startup dominates short vectors, streaming long ones.
+	fmt.Println("\nVL sweep of the chained chime (cycles, cycles/element):")
+	for _, vl := range []int{8, 16, 32, 64, 128} {
+		cycles, err := chainedChime(vl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  VL=%3d  %4d cycles  %.2f cycles/element\n",
+			vl, cycles, float64(cycles)/float64(vl))
+	}
+}
+
+func chainedChime(vl int) (int64, error) {
+	src := fmt.Sprintf(`
+.data a 2048
+	mov #8,vs
+	mov #%d,s0
+	mov s0,vl
+	ld.l a(a0),v0
+	add.d v0,v1,v2
+	mul.d v2,v3,v5
+`, vl)
+	p, err := macs.ParseAsm(src)
+	if err != nil {
+		return 0, err
+	}
+	cfg := macs.DefaultVMConfig()
+	cfg.RefreshStalls = false
+	cpu := macs.NewCPU(cfg)
+	if err := cpu.Load(p); err != nil {
+		return 0, err
+	}
+	st, err := cpu.Run()
+	if err != nil {
+		return 0, err
+	}
+	return st.Cycles, nil
+}

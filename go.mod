@@ -1,0 +1,3 @@
+module macs
+
+go 1.22

@@ -1,0 +1,201 @@
+// Package advisor automates the performance diagnosis methodology of the
+// paper's §4.4 and conclusion ("we believe that this approach can be
+// generalized and automated... incorporated within a goal-directed
+// optimizing compiler"): given a kernel's bounds hierarchy and its
+// measured, A-process and X-process run times, it names the causes of
+// each gap and ranks them by the share of run time they explain.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"macs/internal/core"
+)
+
+// Cause identifies one diagnosed performance loss.
+type Cause string
+
+// The causes the MACS hierarchy can distinguish.
+const (
+	// CauseCompilerWork: t_MAC > t_MA — operations the compiler inserted
+	// (shifted-reuse reloads, spills).
+	CauseCompilerWork Cause = "compiler-inserted-work"
+	// CauseScheduleEffects: t_MACS > t_MAC — bubbles, refresh, and chime
+	// splits charged by the schedule model.
+	CauseScheduleEffects Cause = "schedule-effects"
+	// CauseScalarSplit: t_MACS >> max(t_m', t_f') — scalar memory
+	// accesses splitting potential chimes (the LFK8 signature).
+	CauseScalarSplit Cause = "scalar-loads-split-chimes"
+	// CausePoorOverlap: t_p > max(t_a, t_x) by a wide margin — the
+	// access and execute processes do not overlap (paper Eq. 18).
+	CausePoorOverlap Cause = "poor-access-execute-overlap"
+	// CauseMemoryBound: t_a >> t_x and t_p ~ t_a — performance is
+	// memory-port limited.
+	CauseMemoryBound Cause = "memory-bound"
+	// CauseExecuteBound: t_x >> t_a and t_p ~ t_x.
+	CauseExecuteBound Cause = "execute-bound"
+	// CauseUnmodeledScalar: both t_a and t_x far above their reduced
+	// bounds — scalar code and short-vector overhead dominate (the
+	// LFK 2/4/6 signature).
+	CauseUnmodeledScalar Cause = "unmodeled-scalar-or-short-vectors"
+	// CauseNearBound: measured within 10% of t_MACS — the loop achieves
+	// its deliverable performance.
+	CauseNearBound Cause = "near-bound"
+	// CauseDecomposition: the MACS-D bound exceeds MACS — nonunit
+	// strides collide in the memory banks.
+	CauseDecomposition Cause = "data-decomposition"
+)
+
+// Finding is one diagnosed cause with its magnitude.
+type Finding struct {
+	Cause Cause
+	// Share is the fraction of measured run time this cause explains
+	// (0..1), used for ranking.
+	Share float64
+	// Detail is a one-line human-readable explanation with numbers.
+	Detail string
+	// Suggestion names the level of the stack to attack (application,
+	// compiler, machine), per the paper's goal-directed framing.
+	Suggestion string
+}
+
+// Inputs collects everything the diagnosis reads, all in CPL.
+type Inputs struct {
+	Analysis core.Analysis
+	TP       float64 // measured full-code time
+	TA       float64 // access-only measurement
+	TX       float64 // execute-only measurement
+	// TMACSD, when nonzero, is the decomposition-aware bound.
+	TMACSD float64
+}
+
+// Diagnosis is the ranked findings for one kernel.
+type Diagnosis struct {
+	Findings []Finding
+}
+
+// Diagnose applies the §4.4 rules.
+func Diagnose(in Inputs) Diagnosis {
+	var d Diagnosis
+	a := in.Analysis
+	if in.TP <= 0 {
+		return d
+	}
+	add := func(c Cause, share float64, detail, suggestion string) {
+		if share < 0.02 {
+			return // below noise
+		}
+		d.Findings = append(d.Findings, Finding{Cause: c, Share: share, Detail: detail, Suggestion: suggestion})
+	}
+
+	// Level 1: compiler-inserted work.
+	if gap := a.TMAC - a.TMA; gap > 0 {
+		add(CauseCompilerWork, gap/in.TP,
+			fmt.Sprintf("t_MAC %.2f exceeds t_MA %.2f: the compiler adds %+.2f CPL of operations (reloads/spills)", a.TMAC, a.TMA, gap),
+			"compiler: exploit shifted reuse in vector registers; application: restructure reuse")
+	}
+
+	// Level 2: schedule effects, with the scalar-split special case.
+	if gap := a.MACS.CPL - a.TMAC; gap > 0 {
+		compMax := a.MAC.TM()
+		if f := a.MAC.TF(); f > compMax {
+			compMax = f
+		}
+		if a.MACS.CPL > 1.15*compMax {
+			add(CauseScalarSplit, gap/in.TP,
+				fmt.Sprintf("t_MACS %.2f far exceeds the component bound %.2f: scalar memory accesses split potential chimes", a.MACS.CPL, compMax),
+				"compiler: keep loop invariants in registers; machine: more scalar registers")
+		} else {
+			add(CauseScheduleEffects, gap/in.TP,
+				fmt.Sprintf("t_MACS %.2f vs t_MAC %.2f: tailgating bubbles and refresh cost %+.2f CPL", a.MACS.CPL, a.TMAC, gap),
+				"machine: reduce pipe restart penalty")
+		}
+	}
+
+	// Decomposition (MACS-D extension).
+	if in.TMACSD > a.MACS.CPL*1.02 {
+		add(CauseDecomposition, (in.TMACSD-a.MACS.CPL)/in.TP,
+			fmt.Sprintf("t_MACSD %.2f exceeds t_MACS %.2f: nonunit strides collide in the memory banks", in.TMACSD, a.MACS.CPL),
+			"application: pad leading dimensions to odd sizes")
+	}
+
+	// Resource balance from the A/X decomposition — which process
+	// dominates, independent of how well the bound explains t_p.
+	if in.TA > 0 && in.TX > 0 {
+		switch {
+		case in.TA > 1.25*in.TX:
+			add(CauseMemoryBound, (in.TA-in.TX)/in.TP,
+				fmt.Sprintf("t_a %.2f dominates t_x %.2f: the memory port is the bottleneck", in.TA, in.TX),
+				"application/compiler: reduce memory traffic (reuse, blocking)")
+		case in.TX > 1.25*in.TA:
+			add(CauseExecuteBound, (in.TX-in.TA)/in.TP,
+				fmt.Sprintf("t_x %.2f dominates t_a %.2f: the FP pipes are the bottleneck", in.TX, in.TA),
+				"application: reduce arithmetic or balance add/multiply pipes")
+		}
+	}
+
+	// Level 3: the unmodeled gap, attributed via A/X.
+	unmodeled := in.TP - a.MACS.CPL
+	if unmodeled > 0.1*in.TP && in.TA > 0 && in.TX > 0 {
+		maxAX := in.TA
+		if in.TX > maxAX {
+			maxAX = in.TX
+		}
+		if in.TP > 1.15*maxAX {
+			add(CausePoorOverlap, (in.TP-maxAX)/in.TP,
+				fmt.Sprintf("t_p %.2f well above max(t_a %.2f, t_x %.2f): access and execute serialize", in.TP, in.TA, in.TX),
+				"compiler: interleave memory and FP chimes; remove chime-splitting scalar code")
+		}
+		// Both A and X far above their reduced bounds: scalar overhead.
+		if a.MACSF.CPL > 0 && a.MACSM.CPL > 0 &&
+			in.TX > 1.5*a.MACSF.CPL && in.TA > 1.5*a.MACSM.CPL {
+			add(CauseUnmodeledScalar, unmodeled/in.TP,
+				fmt.Sprintf("t_x %.2f >> t_MACS^f %.2f and t_a %.2f >> t_MACS^m %.2f: scalar code or short vectors dominate", in.TX, a.MACSF.CPL, in.TA, a.MACSM.CPL),
+				"compiler: streamline loop setup; application: lengthen vectors")
+		}
+	}
+
+	if in.TP <= 1.10*a.MACS.CPL {
+		add(CauseNearBound, 1-unmodeled/in.TP,
+			fmt.Sprintf("measured %.2f CPL is within 10%% of t_MACS %.2f: deliverable performance achieved", in.TP, a.MACS.CPL),
+			"machine: only raising the bounds (bandwidth, pipes) helps further")
+	}
+
+	sort.SliceStable(d.Findings, func(i, j int) bool {
+		return d.Findings[i].Share > d.Findings[j].Share
+	})
+	return d
+}
+
+// Primary returns the top-ranked cause (CauseNearBound when the loop is
+// already at its bound, empty when nothing was diagnosed).
+func (d Diagnosis) Primary() Cause {
+	if len(d.Findings) == 0 {
+		return ""
+	}
+	return d.Findings[0].Cause
+}
+
+// Has reports whether a cause was diagnosed at any rank.
+func (d Diagnosis) Has(c Cause) bool {
+	for _, f := range d.Findings {
+		if f.Cause == c {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the diagnosis as a ranked list.
+func (d Diagnosis) String() string {
+	if len(d.Findings) == 0 {
+		return "no findings (insufficient data)\n"
+	}
+	var b strings.Builder
+	for i, f := range d.Findings {
+		fmt.Fprintf(&b, "%d. [%s] %.0f%% — %s\n   -> %s\n", i+1, f.Cause, 100*f.Share, f.Detail, f.Suggestion)
+	}
+	return b.String()
+}

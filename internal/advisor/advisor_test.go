@@ -1,0 +1,171 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"macs/internal/asm"
+	"macs/internal/ax"
+	"macs/internal/compiler"
+	"macs/internal/core"
+	"macs/internal/lfk"
+	"macs/internal/vm"
+)
+
+// diagnoseKernel runs one case-study kernel and feeds its numbers in.
+// (It rebuilds the measurement inline rather than via
+// internal/experiments, which itself imports this package.)
+func diagnoseKernel(t *testing.T, id int) Diagnosis {
+	t.Helper()
+	k, err := lfk.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := lfk.Compile(k, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, ok := asm.InnerVectorLoop(c.Program)
+	if !ok {
+		t.Fatal("no vector loop")
+	}
+	analysis := core.Analyze(k.Paper.MA, loop.Body, 128, core.DefaultRules())
+	m, err := ax.Measure(c.Program, vm.DefaultConfig(), func(cpu *vm.CPU) error {
+		mem := cpu.Memory()
+		for name, val := range k.Ints {
+			base, _ := mem.SymbolAddr(compiler.DataSym(name))
+			if err := mem.WriteI64(base, val); err != nil {
+				return err
+			}
+		}
+		for name, val := range k.Reals {
+			base, _ := mem.SymbolAddr(compiler.DataSym(name))
+			if err := mem.WriteF64(base, val); err != nil {
+				return err
+			}
+		}
+		for name, vals := range k.Arrays {
+			base, _ := mem.SymbolAddr(compiler.DataSym(name))
+			for i, v := range vals {
+				if err := mem.WriteF64(base+int64(i*8), v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Diagnose(Inputs{
+		Analysis: analysis,
+		TP:       k.CPL(m.TP),
+		TA:       k.CPL(m.TA),
+		TX:       k.CPL(m.TX),
+		TMACSD:   core.MACSDBound(loop.Body, 128, core.DefaultRules()).CPL,
+	})
+}
+
+func TestLFK1Diagnosis(t *testing.T) {
+	d := diagnoseKernel(t, 1)
+	// Paper §4.4: "The gap between the MA bound and the MAC bound is
+	// caused by the extra memory references inserted by the compiler."
+	if !d.Has(CauseCompilerWork) {
+		t.Errorf("LFK1 should report compiler-inserted work:\n%s", d)
+	}
+}
+
+func TestLFK12Diagnosis(t *testing.T) {
+	d := diagnoseKernel(t, 12)
+	if !d.Has(CauseCompilerWork) {
+		t.Errorf("LFK12 should report compiler-inserted work (reloaded Y):\n%s", d)
+	}
+}
+
+func TestLFK8Diagnosis(t *testing.T) {
+	d := diagnoseKernel(t, 8)
+	// Paper §4.4: scalar loads splitting potential chimes; the A and X
+	// processes are poorly overlapped.
+	if !d.Has(CauseScalarSplit) {
+		t.Errorf("LFK8 should report scalar-split chimes:\n%s", d)
+	}
+	if !d.Has(CausePoorOverlap) {
+		t.Errorf("LFK8 should report poor A/X overlap:\n%s", d)
+	}
+}
+
+func TestLFK2Diagnosis(t *testing.T) {
+	d := diagnoseKernel(t, 2)
+	// Paper §4.4: "unmodeled activity dominates the performance of this
+	// kernel" — outer loop overhead, scalar code.
+	if !d.Has(CauseUnmodeledScalar) && !d.Has(CausePoorOverlap) {
+		t.Errorf("LFK2 should flag unmodeled scalar/overlap problems:\n%s", d)
+	}
+	if d.Primary() == CauseNearBound {
+		t.Errorf("LFK2 is nowhere near its bound:\n%s", d)
+	}
+}
+
+func TestLFK10Diagnosis(t *testing.T) {
+	d := diagnoseKernel(t, 10)
+	// Paper: LFK 3/9/10 achieve close to deliverable performance.
+	if !d.Has(CauseNearBound) {
+		t.Errorf("LFK10 should be near its bound:\n%s", d)
+	}
+	// And memory is the dominant resource (t_a >> t_x).
+	if !d.Has(CauseMemoryBound) {
+		t.Errorf("LFK10 should be memory-bound:\n%s", d)
+	}
+}
+
+func TestDecompositionFinding(t *testing.T) {
+	// A same-bank stride triggers the D-level finding.
+	p := asm.MustParse(`
+.data a 262144
+	mov #256,vs
+	ld.l a(a0),v0
+	mul.d v0,v1,v2
+`)
+	a := core.Analyze(core.Workload{FA: 0, FM: 1, Loads: 1}, p.Instrs, 128, core.DefaultRules())
+	dBound := core.MACSDBound(p.Instrs, 128, core.DefaultRules()).CPL
+	d := Diagnose(Inputs{Analysis: a, TP: dBound * 1.05, TA: dBound, TX: 1.1, TMACSD: dBound})
+	if !d.Has(CauseDecomposition) {
+		t.Errorf("same-bank stride should report decomposition:\n%s", d)
+	}
+}
+
+func TestDiagnoseEmptyInputs(t *testing.T) {
+	d := Diagnose(Inputs{})
+	if len(d.Findings) != 0 || d.Primary() != "" {
+		t.Errorf("empty inputs produced findings: %+v", d)
+	}
+	if !strings.Contains(d.String(), "no findings") {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestFindingsRankedByShare(t *testing.T) {
+	d := diagnoseKernel(t, 2)
+	for i := 1; i < len(d.Findings); i++ {
+		if d.Findings[i].Share > d.Findings[i-1].Share {
+			t.Errorf("findings not ranked: %v", d.Findings)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	d := diagnoseKernel(t, 1)
+	s := d.String()
+	if !strings.Contains(s, "1. [") || !strings.Contains(s, "->") {
+		t.Errorf("diagnosis rendering:\n%s", s)
+	}
+}
+
+func TestAllKernelsProduceFindings(t *testing.T) {
+	for _, k := range lfk.All() {
+		d := diagnoseKernel(t, k.ID)
+		if len(d.Findings) == 0 {
+			t.Errorf("lfk%d: no findings at all", k.ID)
+		}
+	}
+}

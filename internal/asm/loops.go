@@ -1,0 +1,89 @@
+package asm
+
+import "macs/internal/isa"
+
+// Loop is a backward-branch loop in a program: the instruction range
+// [Start, End) where End-1 is a branch back to Start. Body aliases the
+// program's instruction slice.
+type Loop struct {
+	Label      string
+	Start, End int
+	Body       []isa.Instr
+}
+
+// VectorInstrs returns the vector instructions of the loop body in order.
+func (l Loop) VectorInstrs() []isa.Instr {
+	var out []isa.Instr
+	for _, in := range l.Body {
+		if in.IsVector() {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// IsVectorized reports whether the loop body contains at least one vector
+// instruction.
+func (l Loop) IsVectorized() bool {
+	for _, in := range l.Body {
+		if in.IsVector() {
+			return true
+		}
+	}
+	return false
+}
+
+// FindLoops locates the backward-branch loops of a program, innermost
+// first for nests. Each conditional or unconditional branch whose target
+// label precedes it defines a loop.
+func FindLoops(p *Program) []Loop {
+	var loops []Loop
+	for i, in := range p.Instrs {
+		if !in.IsBranch() {
+			continue
+		}
+		var target string
+		for _, o := range in.Ops {
+			if o.Kind == isa.KindLabel {
+				target = o.Label
+			}
+		}
+		if target == "" {
+			continue
+		}
+		start, ok := p.Labels[target]
+		if !ok || start > i {
+			continue
+		}
+		loops = append(loops, Loop{
+			Label: target,
+			Start: start,
+			End:   i + 1,
+			Body:  p.Instrs[start : i+1],
+		})
+	}
+	// Innermost first: shorter spans first, then by position.
+	for i := 1; i < len(loops); i++ {
+		for j := i; j > 0; j-- {
+			a, b := loops[j-1], loops[j]
+			if span(b) < span(a) {
+				loops[j-1], loops[j] = b, a
+			}
+		}
+	}
+	return loops
+}
+
+func span(l Loop) int { return l.End - l.Start }
+
+// InnerVectorLoop returns the innermost vectorized loop of the program —
+// the loop the MACS model analyzes. ok is false if the program has no
+// vectorized loop.
+func InnerVectorLoop(p *Program) (Loop, bool) {
+	for _, l := range FindLoops(p) {
+		if l.IsVectorized() {
+			return l, true
+		}
+	}
+	return Loop{}, false
+}

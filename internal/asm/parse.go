@@ -1,0 +1,257 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"macs/internal/isa"
+)
+
+// Parse reads assembly text into a Program.
+//
+// Grammar (line oriented):
+//
+//	; comment                       full-line or trailing comment
+//	.data NAME SIZE [v0 v1 ...]     data symbol, optional float64 init
+//	LABEL:                          label (may share a line with an instr)
+//	op[.suf] operand{,operand}      instruction
+//
+// Operands: #imm (decimal or 0x hex), a0..a7, s0..s7, v0..v7, vl, vs,
+// sym+disp(aN), disp(aN), sym(aN), or a branch label.
+func Parse(src string) (*Program, error) {
+	p := &Program{}
+	var pendingLabels []string
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".data") {
+			d, err := parseData(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineno+1, err)
+			}
+			p.AddData(d)
+			continue
+		}
+		// Leading labels (possibly several, possibly followed by an instr).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if name == "" || strings.ContainsAny(name, " \t,#()") {
+				return nil, fmt.Errorf("line %d: bad label %q", lineno+1, name)
+			}
+			pendingLabels = append(pendingLabels, name)
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		in, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineno+1, err)
+		}
+		for _, l := range pendingLabels {
+			p.SetLabel(l)
+		}
+		if len(pendingLabels) > 0 {
+			in.Label = pendingLabels[0]
+		}
+		pendingLabels = pendingLabels[:0]
+		p.Instrs = append(p.Instrs, in)
+	}
+	for _, l := range pendingLabels {
+		p.SetLabel(l)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustParse is Parse for known-good sources; it panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseData(line string) (DataDef, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return DataDef{}, fmt.Errorf("bad .data directive %q", line)
+	}
+	size, err := strconv.ParseInt(fields[2], 0, 64)
+	if err != nil || size < 0 {
+		return DataDef{}, fmt.Errorf("bad .data size %q", fields[2])
+	}
+	d := DataDef{Name: fields[1], Size: size}
+	for _, f := range fields[3:] {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return DataDef{}, fmt.Errorf("bad .data init value %q", f)
+		}
+		d.Init = append(d.Init, v)
+	}
+	if int64(len(d.Init))*8 > d.Size {
+		return DataDef{}, fmt.Errorf(".data %s: %d init values exceed %d bytes", d.Name, len(d.Init), d.Size)
+	}
+	return d, nil
+}
+
+func parseInstr(line string) (isa.Instr, error) {
+	var in isa.Instr
+	mn := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mn, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	opName := mn
+	if i := strings.IndexByte(mn, '.'); i >= 0 {
+		opName = mn[:i]
+		suf, ok := isa.SuffixByName(mn[i+1:])
+		if !ok {
+			return in, fmt.Errorf("unknown suffix %q", mn[i+1:])
+		}
+		in.Suffix = suf
+	}
+	op, ok := isa.OpByName(opName)
+	if !ok {
+		return in, fmt.Errorf("unknown opcode %q", opName)
+	}
+	in.Op = op
+	if rest != "" {
+		for _, tok := range splitOperands(rest) {
+			o, err := parseOperand(strings.TrimSpace(tok), op)
+			if err != nil {
+				return in, err
+			}
+			in.Ops = append(in.Ops, o)
+		}
+	}
+	return in, nil
+}
+
+// splitOperands splits on commas outside parentheses.
+func splitOperands(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func parseOperand(tok string, op isa.Op) (isa.Operand, error) {
+	if tok == "" {
+		return isa.Operand{}, fmt.Errorf("empty operand")
+	}
+	if tok[0] == '#' {
+		v, err := strconv.ParseInt(tok[1:], 0, 64)
+		if err != nil {
+			return isa.Operand{}, fmt.Errorf("bad immediate %q", tok)
+		}
+		return isa.ImmOp(v), nil
+	}
+	if r, ok := parseReg(tok); ok {
+		return isa.RegOp(r), nil
+	}
+	if strings.HasSuffix(tok, ")") {
+		i := strings.LastIndexByte(tok, '(')
+		if i < 0 {
+			return isa.Operand{}, fmt.Errorf("bad memory operand %q", tok)
+		}
+		base, ok := parseReg(tok[i+1 : len(tok)-1])
+		if !ok || base.Class != isa.ClassA {
+			return isa.Operand{}, fmt.Errorf("bad memory base in %q", tok)
+		}
+		sym, disp, err := parseSymDisp(tok[:i])
+		if err != nil {
+			return isa.Operand{}, err
+		}
+		return isa.MemOp(sym, disp, base), nil
+	}
+	if op == isa.OpJbrs || op == isa.OpJmp {
+		return isa.LabelOp(tok), nil
+	}
+	// Bare symbol or number: absolute memory operand without base register.
+	sym, disp, err := parseSymDisp(tok)
+	if err != nil {
+		return isa.Operand{}, fmt.Errorf("bad operand %q", tok)
+	}
+	return isa.MemOp(sym, disp, isa.NoReg()), nil
+}
+
+func parseSymDisp(s string) (string, int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", 0, nil
+	}
+	sym := s
+	var dispStr string
+	if i := strings.LastIndexByte(s, '+'); i > 0 {
+		sym, dispStr = s[:i], s[i+1:]
+	} else if i := strings.LastIndexByte(s, '-'); i > 0 {
+		sym, dispStr = s[:i], s[i:]
+	}
+	if dispStr != "" {
+		d, err := strconv.ParseInt(dispStr, 0, 64)
+		if err != nil {
+			return "", 0, fmt.Errorf("bad displacement in %q", s)
+		}
+		return sym, d, nil
+	}
+	// Pure numeric displacement, no symbol.
+	if d, err := strconv.ParseInt(sym, 0, 64); err == nil {
+		return "", d, nil
+	}
+	return sym, 0, nil
+}
+
+func parseReg(s string) (isa.Reg, bool) {
+	switch s {
+	case "vl":
+		return isa.VL(), true
+	case "vs":
+		return isa.VS(), true
+	}
+	if len(s) != 2 {
+		return isa.Reg{}, false
+	}
+	n := int(s[1] - '0')
+	if n < 0 || n > 7 {
+		return isa.Reg{}, false
+	}
+	switch s[0] {
+	case 'a':
+		return isa.A(n), true
+	case 's':
+		return isa.S(n), true
+	case 'v':
+		return isa.V(n), true
+	}
+	return isa.Reg{}, false
+}

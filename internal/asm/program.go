@@ -1,0 +1,192 @@
+// Package asm provides the assembly-level program model for the Convex-style
+// ISA in internal/isa: a Program with labeled instructions and data symbols,
+// a text parser and printer for the paper's assembly syntax, and inner-loop
+// discovery used by the MACS bounds model.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"macs/internal/isa"
+)
+
+// DataDef declares a data symbol: Size bytes of memory, optionally
+// initialized with 64-bit floating point values (8 bytes each, from the
+// start of the region).
+type DataDef struct {
+	Name string
+	Size int64
+	Init []float64
+}
+
+// Program is an assembled program: an instruction sequence with labels and
+// data symbol definitions. The zero value is an empty program ready to use.
+type Program struct {
+	Instrs []isa.Instr
+	Labels map[string]int // label -> index into Instrs
+	Data   []DataDef
+}
+
+// Clone returns a deep copy of the program. Instruction operand slices are
+// copied so the clone can be rewritten independently (the A/X generators
+// rely on this).
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Instrs: make([]isa.Instr, len(p.Instrs)),
+		Labels: make(map[string]int, len(p.Labels)),
+		Data:   make([]DataDef, len(p.Data)),
+	}
+	for i, in := range p.Instrs {
+		in.Ops = append([]isa.Operand(nil), in.Ops...)
+		q.Instrs[i] = in
+	}
+	for k, v := range p.Labels {
+		q.Labels[k] = v
+	}
+	for i, d := range p.Data {
+		d.Init = append([]float64(nil), d.Init...)
+		q.Data[i] = d
+	}
+	return q
+}
+
+// Add appends an instruction and returns its index.
+func (p *Program) Add(in isa.Instr) int {
+	if in.Label != "" {
+		p.setLabel(in.Label, len(p.Instrs))
+	}
+	p.Instrs = append(p.Instrs, in)
+	return len(p.Instrs) - 1
+}
+
+// SetLabel attaches a label to the next instruction to be added (index
+// len(Instrs)); it is also applied retroactively by Add when the
+// instruction carries a Label.
+func (p *Program) SetLabel(name string) {
+	p.setLabel(name, len(p.Instrs))
+}
+
+func (p *Program) setLabel(name string, idx int) {
+	if p.Labels == nil {
+		p.Labels = make(map[string]int)
+	}
+	p.Labels[name] = idx
+}
+
+// AddData declares a data symbol.
+func (p *Program) AddData(d DataDef) { p.Data = append(p.Data, d) }
+
+// FindData returns the definition of a data symbol.
+func (p *Program) FindData(name string) (DataDef, bool) {
+	for _, d := range p.Data {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return DataDef{}, false
+}
+
+// Validate checks structural invariants: branch targets resolve, register
+// numbers are in range, memory operands have address-register bases, and
+// label indices are within the program.
+func (p *Program) Validate() error {
+	for name, idx := range p.Labels {
+		if idx < 0 || idx > len(p.Instrs) {
+			return fmt.Errorf("asm: label %q index %d out of range", name, idx)
+		}
+	}
+	for i, in := range p.Instrs {
+		for _, o := range in.Ops {
+			switch o.Kind {
+			case isa.KindReg:
+				if err := checkReg(o.Reg); err != nil {
+					return fmt.Errorf("asm: instr %d (%s): %v", i, in, err)
+				}
+			case isa.KindMem:
+				if o.Base.Class != isa.ClassA && o.Base.Class != isa.ClassNone {
+					return fmt.Errorf("asm: instr %d (%s): memory base must be an a-register", i, in)
+				}
+				if o.Base.Class == isa.ClassA {
+					if err := checkReg(o.Base); err != nil {
+						return fmt.Errorf("asm: instr %d (%s): %v", i, in, err)
+					}
+				}
+				if o.Sym != "" {
+					if _, ok := p.FindData(o.Sym); !ok {
+						return fmt.Errorf("asm: instr %d (%s): undefined symbol %q", i, in, o.Sym)
+					}
+				}
+			case isa.KindLabel:
+				if _, ok := p.Labels[o.Label]; !ok {
+					return fmt.Errorf("asm: instr %d (%s): undefined label %q", i, in, o.Label)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkReg(r isa.Reg) error {
+	switch r.Class {
+	case isa.ClassA:
+		if r.N < 0 || r.N >= isa.NumARegs {
+			return fmt.Errorf("register a%d out of range", r.N)
+		}
+	case isa.ClassS:
+		if r.N < 0 || r.N >= isa.NumSRegs {
+			return fmt.Errorf("register s%d out of range", r.N)
+		}
+	case isa.ClassV:
+		if r.N < 0 || r.N >= isa.NumVRegs {
+			return fmt.Errorf("register v%d out of range", r.N)
+		}
+	case isa.ClassVL, isa.ClassVS:
+		// singletons
+	default:
+		return fmt.Errorf("invalid register class")
+	}
+	return nil
+}
+
+// String renders the program in parseable assembly text.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, d := range p.Data {
+		fmt.Fprintf(&b, ".data %s %d", d.Name, d.Size)
+		for _, v := range d.Init {
+			fmt.Fprintf(&b, " %g", v)
+		}
+		b.WriteByte('\n')
+	}
+	labelsAt := make(map[int][]string)
+	for name, idx := range p.Labels {
+		labelsAt[idx] = append(labelsAt[idx], name)
+	}
+	for _, names := range labelsAt {
+		sort.Strings(names)
+	}
+	for i, in := range p.Instrs {
+		for _, name := range labelsAt[i] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "\t%s\n", in)
+	}
+	for _, name := range labelsAt[len(p.Instrs)] {
+		fmt.Fprintf(&b, "%s:\n", name)
+	}
+	return b.String()
+}
+
+// VectorCount returns the number of vector instructions in the slice,
+// broken down by MACS class.
+func VectorCount(instrs []isa.Instr) map[isa.OpClass]int {
+	counts := make(map[isa.OpClass]int)
+	for _, in := range instrs {
+		if in.IsVector() {
+			counts[in.Class()]++
+		}
+	}
+	return counts
+}

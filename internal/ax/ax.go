@@ -1,0 +1,128 @@
+// Package ax implements the paper's A/X performance measurement tooling
+// (§3.6): from a compiled program it generates the A-process executable
+// (all vector floating point operations deleted — the access-only code
+// whose run time is t_a) and the X-process executable (all vector memory
+// access operations deleted — the execute-only code whose run time is
+// t_x). Control flow is preserved in both: scalar instructions, loop
+// counters and branches are untouched.
+//
+// The numerical outputs of A/X runs are nonsense by construction; the
+// X-process primes the vector registers with nonzero values so that
+// arithmetic on never-loaded registers cannot fault.
+package ax
+
+import (
+	"macs/internal/asm"
+	"macs/internal/isa"
+	"macs/internal/vm"
+)
+
+// AProcess returns a copy of the program with every vector floating point
+// operation deleted. Running it measures t_a, the access-only time.
+func AProcess(p *asm.Program) *asm.Program {
+	return filterProgram(p, func(in isa.Instr) bool {
+		if !in.IsVector() {
+			return true
+		}
+		switch in.Class() {
+		case isa.ClassFPAdd, isa.ClassFPMul:
+			return false
+		}
+		return true
+	})
+}
+
+// XProcess returns a copy of the program with every vector memory access
+// operation deleted. Running it measures t_x, the execute-only time.
+func XProcess(p *asm.Program) *asm.Program {
+	return filterProgram(p, func(in isa.Instr) bool {
+		return !(in.IsVector() && in.IsMemory())
+	})
+}
+
+// filterProgram deletes instructions failing keep, remapping labels to
+// the following surviving instruction so control flow is preserved.
+func filterProgram(p *asm.Program, keep func(isa.Instr) bool) *asm.Program {
+	q := p.Clone()
+	newIndex := make([]int, len(q.Instrs)+1)
+	var out []isa.Instr
+	for i, in := range q.Instrs {
+		newIndex[i] = len(out)
+		if keep(in) {
+			out = append(out, in)
+		}
+	}
+	newIndex[len(q.Instrs)] = len(out)
+	for name, idx := range q.Labels {
+		q.Labels[name] = newIndex[idx]
+	}
+	// Instr.Label fields are cosmetic; rebuild them from the map.
+	for i := range out {
+		out[i].Label = ""
+	}
+	for name, idx := range q.Labels {
+		if idx < len(out) && out[idx].Label == "" {
+			out[idx].Label = name
+		}
+	}
+	q.Instrs = out
+	return q
+}
+
+// PrimeVectorRegisters fills every vector register with large, relatively
+// prime, nonzero values (paper §3.6) so X-process arithmetic on
+// never-loaded registers cannot produce floating point exceptions.
+func PrimeVectorRegisters(cpu *vm.CPU) {
+	primes := []float64{100003, 100019, 100043, 100057, 100069, 100103, 100109, 100129}
+	for r := 0; r < isa.NumVRegs; r++ {
+		vals := make([]float64, isa.VLMax)
+		for k := range vals {
+			vals[k] = primes[r] + float64(k)
+		}
+		cpu.SetV(r, vals)
+	}
+}
+
+// Measurement is one kernel's A/X outcome in cycles.
+type Measurement struct {
+	TP int64 // full code
+	TA int64 // access-only (A-process)
+	TX int64 // execute-only (X-process)
+}
+
+// Measure runs the full program, the A-process and the X-process under
+// the same configuration and returns their cycle counts. prime, when not
+// nil, primes memory inputs before each run.
+func Measure(p *asm.Program, cfg vm.Config, prime func(*vm.CPU) error) (Measurement, error) {
+	var m Measurement
+	run := func(prog *asm.Program, primeRegs bool) (int64, error) {
+		cpu := vm.New(cfg)
+		if err := cpu.Load(prog); err != nil {
+			return 0, err
+		}
+		if prime != nil {
+			if err := prime(cpu); err != nil {
+				return 0, err
+			}
+		}
+		if primeRegs {
+			PrimeVectorRegisters(cpu)
+		}
+		st, err := cpu.Run()
+		if err != nil {
+			return 0, err
+		}
+		return st.Cycles, nil
+	}
+	var err error
+	if m.TP, err = run(p, false); err != nil {
+		return m, err
+	}
+	if m.TA, err = run(AProcess(p), false); err != nil {
+		return m, err
+	}
+	if m.TX, err = run(XProcess(p), true); err != nil {
+		return m, err
+	}
+	return m, nil
+}

@@ -1,0 +1,222 @@
+package ax
+
+import (
+	"testing"
+
+	"macs/internal/asm"
+	"macs/internal/compiler"
+	"macs/internal/core"
+	"macs/internal/isa"
+	"macs/internal/lfk"
+	"macs/internal/vm"
+)
+
+func compiled(t *testing.T, id int) *lfk.Compiled {
+	t.Helper()
+	k, err := lfk.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := lfk.Compile(k, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAProcessDeletesVectorFP(t *testing.T) {
+	c := compiled(t, 1)
+	a := AProcess(c.Program)
+	for _, in := range a.Instrs {
+		if in.IsVector() {
+			switch in.Class() {
+			case isa.ClassFPAdd, isa.ClassFPMul:
+				t.Fatalf("A-process kept vector FP op %s", in)
+			}
+		}
+	}
+	// Vector memory operations survive: 3 loads + 1 store per strip.
+	counts := asm.VectorCount(a.Instrs)
+	if counts[isa.ClassLoad] == 0 || counts[isa.ClassStore] == 0 {
+		t.Errorf("A-process lost memory operations: %v", counts)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("A-process program invalid: %v", err)
+	}
+}
+
+func TestXProcessDeletesVectorMemory(t *testing.T) {
+	c := compiled(t, 1)
+	x := XProcess(c.Program)
+	for _, in := range x.Instrs {
+		if in.IsVector() && in.IsMemory() {
+			t.Fatalf("X-process kept vector memory op %s", in)
+		}
+	}
+	counts := asm.VectorCount(x.Instrs)
+	if counts[isa.ClassFPMul] == 0 || counts[isa.ClassFPAdd] == 0 {
+		t.Errorf("X-process lost FP operations: %v", counts)
+	}
+	// Scalar loads (constants, counters) must survive.
+	var scalarLoads int
+	for _, in := range x.Instrs {
+		if !in.IsVector() && in.IsLoad() {
+			scalarLoads++
+		}
+	}
+	if scalarLoads == 0 {
+		t.Error("X-process lost scalar loads (control flow would break)")
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatalf("X-process program invalid: %v", err)
+	}
+}
+
+func TestLabelRemapping(t *testing.T) {
+	// A label attached to a deleted instruction moves to the next
+	// surviving one.
+	p := asm.MustParse(`
+.data a 2048
+	mov #8,vs
+	mov #128,s0
+L1:
+	mov s0,vl
+	ld.l a(a0),v0
+	add.d v0,v1,v2
+	sub.w #128,s0
+	lt.w #0,s0
+	jbrs.t L1
+`)
+	x := XProcess(p)
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	idx := x.Labels["L1"]
+	if idx >= len(x.Instrs) || x.Instrs[idx].Op != isa.OpMov {
+		t.Errorf("label L1 remapped to %d (%v)", idx, x.Instrs[idx])
+	}
+	// The vector load is gone; the add survives.
+	counts := asm.VectorCount(x.Instrs)
+	if counts[isa.ClassLoad] != 0 || counts[isa.ClassFPAdd] != 1 {
+		t.Errorf("X-process counts = %v", counts)
+	}
+}
+
+// TestLFK1AXMeasurements reproduces the paper's Table 5 row for LFK1:
+// t_x about 3.1 CPL (vs t_MACS^f = 3.04) and t_a about 4.2 CPL (vs
+// t_MACS^m = 4.14), with t_p >= max(t_a, t_x).
+func TestLFK1AXMeasurements(t *testing.T) {
+	c := compiled(t, 1)
+	cpuPrime := func(cpu *vm.CPU) error {
+		fresh, err := c.NewCPU(vm.DefaultConfig())
+		_ = fresh
+		return err
+	}
+	_ = cpuPrime
+	m, err := Measure(c.Program, vm.DefaultConfig(), func(cpu *vm.CPU) error {
+		// Reuse the kernel priming (inputs only matter for the full run).
+		return primeKernel(c, cpu)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(c.Kernel.Elements)
+	tp, ta, tx := float64(m.TP)/n, float64(m.TA)/n, float64(m.TX)/n
+	if tx < 3.0 || tx > 3.6 {
+		t.Errorf("t_x = %.3f CPL, want near 3.1 (paper 3.13)", tx)
+	}
+	if ta < 4.0 || ta > 4.6 {
+		t.Errorf("t_a = %.3f CPL, want near 4.2 (paper 4.20)", ta)
+	}
+	if tp < ta-0.2 || tp < tx-0.2 {
+		t.Errorf("t_p (%.3f) below max(t_a=%.3f, t_x=%.3f)", tp, ta, tx)
+	}
+	if tp > ta+tx {
+		t.Errorf("t_p (%.3f) above t_a+t_x (%.3f): impossible overlap", tp, ta+tx)
+	}
+}
+
+func primeKernel(c *lfk.Compiled, cpu *vm.CPU) error {
+	k := c.Kernel
+	m := cpu.Memory()
+	for name, val := range k.Ints {
+		base, _ := m.SymbolAddr(compiler.DataSym(name))
+		if err := m.WriteI64(base, val); err != nil {
+			return err
+		}
+	}
+	for name, val := range k.Reals {
+		base, _ := m.SymbolAddr(compiler.DataSym(name))
+		if err := m.WriteF64(base, val); err != nil {
+			return err
+		}
+	}
+	for name, vals := range k.Arrays {
+		base, _ := m.SymbolAddr(compiler.DataSym(name))
+		for i, v := range vals {
+			if err := m.WriteF64(base+int64(i*8), v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TestAXBoundsRelationAllKernels checks the Eq. 18 shape on every kernel:
+// max(t_a, t_x) <= t_p (within measurement slack).
+func TestAXBoundsRelationAllKernels(t *testing.T) {
+	for _, k := range lfk.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			c, err := lfk.Compile(k, compiler.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := Measure(c.Program, vm.DefaultConfig(), func(cpu *vm.CPU) error {
+				return primeKernel(c, cpu)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			slack := 1.02 // A/X codes keep all scalar work; tiny timing noise allowed
+			if float64(m.TP)*slack < float64(m.TA) || float64(m.TP)*slack < float64(m.TX) {
+				t.Errorf("t_p=%d below t_a=%d or t_x=%d", m.TP, m.TA, m.TX)
+			}
+			t.Logf("lfk%d: t_p=%.3f t_a=%.3f t_x=%.3f CPL", k.ID,
+				k.CPL(m.TP), k.CPL(m.TA), k.CPL(m.TX))
+		})
+	}
+}
+
+// TestXProcessMatchesMACSF: the execute-only measurement tracks the
+// reduced-list bound t_MACS^f for the well-behaved kernels.
+func TestXProcessMatchesMACSF(t *testing.T) {
+	c := compiled(t, 1)
+	loop, _ := asm.InnerVectorLoop(c.Program)
+	f := core.MACSBound(core.StripMemOps(loop.Body), 128, core.DefaultRules())
+	m, err := Measure(c.Program, vm.DefaultConfig(), func(cpu *vm.CPU) error {
+		return primeKernel(c, cpu)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := float64(m.TX) / float64(c.Kernel.Elements)
+	if tx < f.CPL {
+		t.Errorf("measured t_x %.3f below bound t_MACS^f %.3f", tx, f.CPL)
+	}
+	if tx > f.CPL*1.25 {
+		t.Errorf("measured t_x %.3f too far above bound %.3f", tx, f.CPL)
+	}
+}
+
+func TestPrimeVectorRegisters(t *testing.T) {
+	cpu := vm.New(vm.DefaultConfig())
+	PrimeVectorRegisters(cpu)
+	for r := 0; r < isa.NumVRegs; r++ {
+		for k := 0; k < isa.VLMax; k += 17 {
+			if cpu.VElem(r, k) == 0 {
+				t.Fatalf("v%d[%d] is zero after priming", r, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"macs/internal/isa"
+	"macs/internal/vm"
+)
+
+func TestCalibrateMatchesTable1(t *testing.T) {
+	results, err := CalibrateAll(vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results, want 8 (Table 1 rows)", len(results))
+	}
+	for _, r := range results {
+		if math.Abs(r.Fit.Z-r.Spec.Z) > 0.02 {
+			t.Errorf("%s: fitted Z = %.3f, spec %.3f", r.Op, r.Fit.Z, r.Spec.Z)
+		}
+		// B within 1 cycle: the fractional-Z reduction quantizes (the
+		// paper notes the same uncertainty and sets B = 0 by fiat).
+		if d := r.Fit.B - r.Spec.B; d < -1 || d > 1 {
+			t.Errorf("%s: fitted B = %d, spec %d", r.Op, r.Fit.B, r.Spec.B)
+		}
+		if d := r.Fit.Y - r.Spec.Y; d < -2 || d > 2 {
+			t.Errorf("%s: fitted Y = %d, spec %d", r.Op, r.Fit.Y, r.Spec.Y)
+		}
+	}
+}
+
+func TestCalibrateDivide(t *testing.T) {
+	r, err := Calibrate(isa.OpDiv, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Fit.Z-4.0) > 0.05 {
+		t.Errorf("divide Z = %.3f, want 4.0", r.Fit.Z)
+	}
+	if r.Fit.B != 21 {
+		t.Errorf("divide B = %d, want 21", r.Fit.B)
+	}
+}
+
+func TestCalibrateReduction(t *testing.T) {
+	r, err := Calibrate(isa.OpSum, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Fit.Z-1.35) > 0.02 {
+		t.Errorf("reduction Z = %.3f, want 1.35", r.Fit.Z)
+	}
+	if r.Fit.B < 0 || r.Fit.B > 1 {
+		t.Errorf("reduction B = %d, want 0 or 1 (ceil quantization)", r.Fit.B)
+	}
+}
+
+func TestCalibrateUnknownOp(t *testing.T) {
+	if _, err := Calibrate(isa.OpJmp, vm.DefaultConfig()); err == nil {
+		t.Error("calibrating a control op should fail")
+	}
+}
+
+// TestChimeTimesLFK1 reproduces the §3.5 per-chime calibration loops:
+// chime 1 (ld+mul) near 131, chimes 2-3 (ld+mul+add) near 132, chime 4
+// (st) near 132 — the paper measured 131.93, 133.33, 133.33 and 132.35.
+func TestChimeTimesLFK1(t *testing.T) {
+	cfg := vm.DefaultConfig()
+	cases := []struct {
+		name   string
+		instrs []string
+		want   float64
+		tol    float64
+	}{
+		{"chime1", []string{"ld.l arr(a0),v0", "mul.d v0,s1,v1"}, 131, 2.5},
+		{"chime2", []string{"ld.l arr(a0),v2", "mul.d v2,s3,v0", "add.d v1,v0,v3"}, 132, 2.5},
+		{"chime4", []string{"st.l v0,arr(a0)"}, 132, 2.5},
+	}
+	for _, tc := range cases {
+		got, err := ChimeTime(tc.instrs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("%s = %.2f cycles, want %v +/- %v (paper §3.5)", tc.name, got, tc.want, tc.tol)
+		}
+	}
+}
+
+// TestChimeTimeNoRefreshIsExact verifies Eq. 13 exactly with refresh off.
+func TestChimeTimeNoRefreshIsExact(t *testing.T) {
+	cfg := vm.DefaultConfig()
+	cfg.RefreshStalls = false
+	got, err := ChimeTime([]string{"ld.l arr(a0),v2", "mul.d v2,v1,v0", "add.d v0,v3,v5"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 132 {
+		t.Errorf("chime = %.2f cycles, want exactly 132 (VL + 2+1+1)", got)
+	}
+}
+
+func TestVLSweepFlattens(t *testing.T) {
+	pts, err := VLSweep(isa.OpLd, []int{8, 16, 32, 64, 128}, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost per element decreases monotonically toward Z=1 as the bubble
+	// amortizes over more elements.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CyclesPerElem > pts[i-1].CyclesPerElem+1e-9 {
+			t.Errorf("cost/elem increased at VL=%d: %.3f > %.3f",
+				pts[i].VL, pts[i].CyclesPerElem, pts[i-1].CyclesPerElem)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.CyclesPerElem < 1.0 || last.CyclesPerElem > 1.05 {
+		t.Errorf("VL=128 cost/elem = %.3f, want ~1.0 (Z)", last.CyclesPerElem)
+	}
+	first := pts[0]
+	if first.CyclesPerElem < 1.2 {
+		t.Errorf("VL=8 cost/elem = %.3f, want noticeably above Z", first.CyclesPerElem)
+	}
+}
+
+func TestHalfPerformanceLength(t *testing.T) {
+	cold, steady, err := HalfPerformanceLength(isa.OpLd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold n-1/2 = (2+10)/1 = 12; steady = B/Z = 2.
+	if cold != 12 || steady != 2 {
+		t.Errorf("ld n-1/2 = %v/%v, want 12/2", cold, steady)
+	}
+	cold, _, err = HalfPerformanceLength(isa.OpDiv)
+	if err != nil || cold != (2+72)/4.0 {
+		t.Errorf("div cold n-1/2 = %v, want 18.5", cold)
+	}
+	if _, _, err := HalfPerformanceLength(isa.OpJmp); err == nil {
+		t.Error("control op should have no n-1/2")
+	}
+}

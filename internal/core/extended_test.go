@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"macs/internal/asm"
+	"macs/internal/isa"
+)
+
+func TestAnnotateStrides(t *testing.T) {
+	p := asm.MustParse(`
+.data a 8192
+	mov #8,vs
+	ld.l a(a0),v0
+	mov #40,vs
+	ld.l a+8(a0),v1
+	add.d v0,v1,v2
+	st.l v2,a+16(a0)
+`)
+	ann := AnnotateStrides(p.Instrs)
+	if len(ann) != 3 {
+		t.Fatalf("annotated %d memory ops, want 3", len(ann))
+	}
+	if ann[1] != 8 {
+		t.Errorf("first load stride = %d, want 8", ann[1])
+	}
+	if ann[3] != 40 {
+		t.Errorf("second load stride = %d, want 40", ann[3])
+	}
+	if ann[5] != 40 {
+		t.Errorf("store stride = %d, want 40 (inherits current VS)", ann[5])
+	}
+}
+
+func TestBankLimitedZ(t *testing.T) {
+	tests := []struct {
+		strideBytes int64
+		want        float64
+	}{
+		{8, 1},    // unit
+		{16, 1},   // 2 words: revisit every 16 > 8
+		{32, 1},   // 4 words: revisit every 8 = 8
+		{40, 1},   // 5 words, odd
+		{64, 2},   // 8 words: revisit every 4 -> 2 cycles/elem
+		{128, 4},  // 16 words: revisit every 2
+		{256, 8},  // 32 words: same bank
+		{-8, 1},   // negative unit stride
+		{-256, 8}, // negative same-bank
+		{0, 8},    // stride zero hammers one bank
+	}
+	for _, tt := range tests {
+		if got := BankLimitedZ(tt.strideBytes, isa.MemBanks, isa.BankCycle); got != tt.want {
+			t.Errorf("BankLimitedZ(%d) = %v, want %v", tt.strideBytes, got, tt.want)
+		}
+	}
+}
+
+func TestMACSDEqualsMACSForUnitStride(t *testing.T) {
+	p := asm.MustParse(`
+.data a 8192
+	mov #8,vs
+	ld.l a(a0),v0
+	mul.d v0,v1,v2
+	st.l v2,a+16(a0)
+`)
+	base := MACSBound(p.Instrs, 128, DefaultRules())
+	d := MACSDBound(p.Instrs, 128, DefaultRules())
+	if d.Cycles != base.Cycles {
+		t.Errorf("conflict-free MACSD %v != MACS %v", d.Cycles, base.Cycles)
+	}
+	if pen := DecompositionPenalty(p.Instrs, 128, DefaultRules()); pen != 1 {
+		t.Errorf("penalty = %v, want 1", pen)
+	}
+}
+
+func TestMACSDPenalizesSameBankStride(t *testing.T) {
+	p := asm.MustParse(`
+.data a 262144
+	mov #256,vs
+	ld.l a(a0),v0
+	mul.d v0,v1,v2
+`)
+	base := MACSBound(p.Instrs, 128, DefaultRules())
+	d := MACSDBound(p.Instrs, 128, DefaultRules())
+	// Stride 32 words: 8 cycles per element on the memory chime.
+	if d.Cycles < 8*128 {
+		t.Errorf("MACSD = %v cycles, want >= 1024 (bank-limited)", d.Cycles)
+	}
+	if d.Cycles <= base.Cycles {
+		t.Errorf("MACSD (%v) should exceed MACS (%v) for a same-bank stride", d.Cycles, base.Cycles)
+	}
+	pen := DecompositionPenalty(p.Instrs, 128, DefaultRules())
+	if pen < 7 || pen > 9 {
+		t.Errorf("penalty = %v, want about 8", pen)
+	}
+}
+
+func TestMACSDChimeStructureUnchanged(t *testing.T) {
+	// The D bound changes rates, never the partition.
+	p := asm.MustParse(`
+.data a 262144
+	mov #64,vs
+	ld.l a(a0),v0
+	add.d v0,v1,v2
+	mul.d v2,v3,v5
+	st.l v5,a+8(a0)
+`)
+	base := Partition(p.Instrs, DefaultRules())
+	d := MACSDBound(p.Instrs, 128, DefaultRules())
+	if len(d.Chimes) != len(base) {
+		t.Errorf("MACSD chimes = %d, MACS = %d", len(d.Chimes), len(base))
+	}
+}
+
+func TestLoopShapeAverageVL(t *testing.T) {
+	tests := []struct {
+		shape LoopShape
+		want  int
+	}{
+		{LoopShape{Elements: 1001, Entries: 1}, 128}, // clamped
+		{LoopShape{Elements: 2016, Entries: 63}, 32},
+		{LoopShape{Elements: 97, Entries: 6}, 17},
+		{LoopShape{Elements: 0, Entries: 1}, 128},
+		{LoopShape{Elements: 10, Entries: 0}, 128},
+		{LoopShape{Elements: 3, Entries: 10}, 1},
+	}
+	for _, tt := range tests {
+		if got := tt.shape.AverageVL(); got != tt.want {
+			t.Errorf("AverageVL(%+v) = %d, want %d", tt.shape, got, tt.want)
+		}
+	}
+}
+
+// lfk1Shape drives the extended bound for a flat 1001-element loop.
+func TestExtendedBoundFlatLoop(t *testing.T) {
+	body := lfk1Body(t)
+	shape := LoopShape{Elements: 1001, Entries: 1, OuterScalarOps: 10}
+	ext := ExtendedBound(body, shape, DefaultRules())
+	base := MACSBound(body, 128, DefaultRules())
+	// A flat long loop: the extended bound is close to the plain bound
+	// (startup and scalars amortize over 1001 elements).
+	if ext.CPL < base.CPL {
+		t.Errorf("extended %.3f below MACS %.3f", ext.CPL, base.CPL)
+	}
+	if ext.CPL > base.CPL*1.05 {
+		t.Errorf("extended %.3f too far above MACS %.3f for a long flat loop", ext.CPL, base.CPL)
+	}
+}
+
+func TestExtendedBoundShortVectors(t *testing.T) {
+	// A reduction loop entered 63 times with 32 elements each (the LFK6
+	// shape): the extended bound must rise well above the plain bound.
+	p := asm.MustParse(`
+.data a 8192
+.data b 8192
+	mov #8,vs
+	ld.l a(a0),v0
+	ld.l b(a0),v1
+	mul.d v0,v1,v2
+	add.d v2,v7,v7
+`)
+	base := MACSBound(p.Instrs, 128, DefaultRules())
+	shape := LoopShape{Elements: 2016, Entries: 63, OuterScalarOps: 30}
+	ext := ExtendedBound(p.Instrs, shape, DefaultRules())
+	if ext.CPL < base.CPL*1.5 {
+		t.Errorf("extended %.3f should be well above MACS %.3f for short vectors", ext.CPL, base.CPL)
+	}
+	if ext.ReductionCycles == 0 {
+		t.Error("accumulate add not recognized as a reduction")
+	}
+	if ext.StartupCycles == 0 || ext.ScalarCycles != 30 {
+		t.Errorf("breakdown = %+v", ext)
+	}
+}
+
+func TestExtendedBoundZeroElements(t *testing.T) {
+	ext := ExtendedBound(lfk1Body(t), LoopShape{}, DefaultRules())
+	if ext.CPL != 0 {
+		t.Errorf("empty shape bound = %v", ext.CPL)
+	}
+}
+
+func TestCountReductions(t *testing.T) {
+	p := asm.MustParse(`
+	sum.d v0,s1
+	add.d v2,v7,v7
+	add.d v0,v1,v2
+`)
+	if got := countReductions(p.Instrs); got != 2 {
+		t.Errorf("countReductions = %d, want 2 (sum + accumulate)", got)
+	}
+}
+
+// Property: the extended bound is monotone in entries — more entries for
+// the same total work never make the bound smaller.
+func TestExtendedBoundMonotoneInEntries(t *testing.T) {
+	body := lfk1Body(t)
+	prev := 0.0
+	for _, entries := range []int{1, 2, 4, 8, 16, 32} {
+		ext := ExtendedBound(body, LoopShape{Elements: 1024, Entries: entries, OuterScalarOps: 20}, DefaultRules())
+		if ext.CPL+1e-9 < prev {
+			t.Fatalf("bound decreased at %d entries: %.3f < %.3f", entries, ext.CPL, prev)
+		}
+		prev = ext.CPL
+	}
+}
+
+func TestExtendedBoundExceedsFractionalStrips(t *testing.T) {
+	// 200 elements in one entry: one full strip plus a 72-element strip;
+	// per-iteration bound must exceed the pure VL=128 figure because the
+	// residual strip pays full bubbles over fewer elements.
+	body := lfk1Body(t)
+	ext := ExtendedBound(body, LoopShape{Elements: 200, Entries: 1}, DefaultRules())
+	base := MACSBound(body, 128, DefaultRules())
+	if ext.CPL < base.CPL {
+		t.Errorf("extended %.3f below plain %.3f", ext.CPL, base.CPL)
+	}
+	if math.IsNaN(ext.CPL) || math.IsInf(ext.CPL, 0) {
+		t.Error("extended bound not finite")
+	}
+}

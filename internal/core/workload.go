@@ -1,0 +1,105 @@
+// Package core implements the paper's primary contribution: the MACS
+// hierarchy of performance bounds (MA, MAC, MACS) for vectorized inner
+// loops on the Convex C-240, including the chime partitioning algorithm
+// (§3.3), the MACS bound with tailgating bubbles and the memory-refresh
+// factor (§3.4), the reduced-list bounds t_MACS^f and t_MACS^m, and the
+// CPL/CPF/MFLOPS conversions (§3.1).
+package core
+
+import (
+	"fmt"
+
+	"macs/internal/isa"
+)
+
+// Workload holds MACS operation counts for one inner-loop iteration:
+// floating point additions (FA), multiplications (FM), loads and stores of
+// floating point data. The MA workload is derived from the high-level code
+// assuming perfect index analysis; the MAC workload is counted from the
+// compiler-generated assembly.
+type Workload struct {
+	FA     int // f_a: additions (incl. subtractions, negations, reductions)
+	FM     int // f_m: multiplications (incl. divisions, square roots)
+	Loads  int // l: floating point loads
+	Stores int // s: floating point stores
+}
+
+// Flops returns f_a + f_m, the number of floating point arithmetic
+// operations per iteration of the high-level loop body.
+func (w Workload) Flops() int { return w.FA + w.FM }
+
+// TF returns the floating point component bound t_f = max(f_a, f_m) in
+// cycles per loop iteration: the add and multiply pipes each retire one
+// result per clock.
+func (w Workload) TF() float64 {
+	if w.FA > w.FM {
+		return float64(w.FA)
+	}
+	return float64(w.FM)
+}
+
+// TM returns the memory component bound t_m = l + s in cycles per loop
+// iteration: the single memory port retires one access per clock.
+func (w Workload) TM() float64 { return float64(w.Loads + w.Stores) }
+
+// Bound returns max(t_f, t_m), the MA or MAC bound in CPL depending on
+// which workload the receiver holds (paper Eq. 1).
+func (w Workload) Bound() float64 {
+	tf, tm := w.TF(), w.TM()
+	if tf > tm {
+		return tf
+	}
+	return tm
+}
+
+func (w Workload) String() string {
+	return fmt.Sprintf("fa=%d fm=%d l=%d s=%d", w.FA, w.FM, w.Loads, w.Stores)
+}
+
+// WorkloadFromAssembly counts the MAC workload of a compiled inner loop:
+// all vector operations of the classes of interest in the instruction
+// sequence (paper §3.1). Scalar instructions do not contribute.
+func WorkloadFromAssembly(instrs []isa.Instr) Workload {
+	var w Workload
+	for _, in := range instrs {
+		if !in.IsVector() {
+			continue
+		}
+		switch in.Class() {
+		case isa.ClassFPAdd:
+			w.FA++
+		case isa.ClassFPMul:
+			w.FM++
+		case isa.ClassLoad:
+			w.Loads++
+		case isa.ClassStore:
+			w.Stores++
+		}
+	}
+	return w
+}
+
+// CPF converts a CPL figure to cycles per floating point operation by
+// dividing by the high-level flop count (paper Eq. 2-3). The divisor is
+// always the MA workload's f_a+f_m, even for MAC/MACS bounds.
+func CPF(cpl float64, maWorkload Workload) float64 {
+	f := maWorkload.Flops()
+	if f == 0 {
+		return 0
+	}
+	return cpl / float64(f)
+}
+
+// HarmonicMeanMFLOPS returns the harmonic-mean megaflops rate of a set of
+// applications from their CPF figures (paper Eq. 4): clock rate divided by
+// average CPF.
+func HarmonicMeanMFLOPS(cpfs []float64) float64 {
+	if len(cpfs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cpfs {
+		sum += c
+	}
+	return isa.CPFToMFLOPS(sum / float64(len(cpfs)))
+}

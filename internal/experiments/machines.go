@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"macs/internal/asm"
+	"macs/internal/compiler"
+	"macs/internal/core"
+	"macs/internal/isa"
+	"macs/internal/lfk"
+	"macs/internal/vm"
+)
+
+// Machine is a named machine configuration — the paper's conclusion
+// argues the MACS approach "can be generalized ... to assess a broad
+// range of machines"; these presets demonstrate it on vector machines
+// the paper compares the C-240 against (§3.3).
+type Machine struct {
+	Name     string
+	VM       vm.Config
+	Compiler compiler.Options
+}
+
+// Machines returns the comparison set:
+//
+//   - Convex C-240: the paper's machine (VL=128, flexible chaining).
+//   - Cray-1-like: VL=64 and no chaining out of memory loads (the
+//     Cray-1's rigid chain-slot limitation, §3.3: chaining on the C-240
+//     "appears to be much more flexible than the Cray-1").
+//   - Cray-2-like: no chaining at all (§3.3: "with the notable exception
+//     of the Cray-2").
+func Machines() []Machine {
+	c240 := Machine{Name: "Convex C-240", VM: vm.DefaultConfig(), Compiler: compiler.DefaultOptions()}
+
+	cray1 := Machine{Name: "Cray-1-like (VL=64, no memory chaining)", VM: vm.DefaultConfig(), Compiler: compiler.DefaultOptions()}
+	cray1.VM.VLMax = 64
+	cray1.VM.Rules.NoMemoryChaining = true
+	cray1.Compiler.VL = 64
+
+	cray2 := Machine{Name: "Cray-2-like (no chaining)", VM: vm.DefaultConfig(), Compiler: compiler.DefaultOptions()}
+	cray2.VM.Rules.Chaining = false
+
+	return []Machine{c240, cray1, cray2}
+}
+
+// MachineRow summarizes one machine over the ten-kernel suite.
+type MachineRow struct {
+	Name string
+	// AvgMACSCPF and AvgMeasuredCPF are suite averages in cycles/flop;
+	// MFLOPS are the harmonic means at the 25 MHz clock.
+	AvgMACSCPF, AvgMeasuredCPF float64
+	BoundMFLOPS, MFLOPS        float64
+	// Validated is false if any kernel's output failed validation.
+	Validated bool
+}
+
+// RunMachineComparison runs the full suite on every machine preset.
+func RunMachineComparison() ([]MachineRow, error) {
+	var rows []MachineRow
+	for _, m := range Machines() {
+		row := MachineRow{Name: m.Name, Validated: true}
+		var sumBound, sumMeasured float64
+		for _, k := range lfk.All() {
+			c, err := lfk.Compile(k, m.Compiler)
+			if err != nil {
+				return nil, err
+			}
+			st, cpu, err := c.Run(m.VM)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.Validate(cpu); err != nil {
+				row.Validated = false
+			}
+			loop, _ := innerLoopOf(c)
+			bound := core.MACSBound(loop, m.VM.VLMax, m.VM.Rules)
+			f := float64(k.FlopsPerIteration())
+			sumBound += bound.CPL / f
+			sumMeasured += k.CPF(st.Cycles)
+		}
+		n := float64(len(lfk.All()))
+		row.AvgMACSCPF = sumBound / n
+		row.AvgMeasuredCPF = sumMeasured / n
+		row.BoundMFLOPS = core.HarmonicMeanMFLOPS([]float64{row.AvgMACSCPF})
+		row.MFLOPS = core.HarmonicMeanMFLOPS([]float64{row.AvgMeasuredCPF})
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// innerLoopOf extracts a compiled kernel's vector inner loop body.
+func innerLoopOf(c *lfk.Compiled) ([]isa.Instr, bool) {
+	loop, ok := asm.InnerVectorLoop(c.Program)
+	if !ok {
+		return nil, false
+	}
+	return loop.Body, true
+}

@@ -1,0 +1,348 @@
+package ftn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Env holds a program's variables for direct AST interpretation: arrays
+// and scalars by name. Interpret is the compiler-independent reference
+// semantics used for differential testing of the compile-and-simulate
+// pipeline.
+type Env struct {
+	Reals  map[string][]float64 // arrays and scalars (scalars have len 1)
+	Ints   map[string]int64
+	params *Program
+	steps  int
+}
+
+// NewEnv allocates storage for every declaration, zero-initialized.
+func NewEnv(p *Program) *Env {
+	e := &Env{
+		Reals:  make(map[string][]float64),
+		Ints:   make(map[string]int64),
+		params: p,
+	}
+	for _, d := range p.Decls {
+		if d.Kind == KindReal {
+			e.Reals[d.Name] = make([]float64, d.Elems())
+		} else {
+			e.Ints[d.Name] = 0
+		}
+	}
+	return e
+}
+
+// maxInterpSteps bounds runaway GOTO loops.
+const maxInterpSteps = 50_000_000
+
+// Interpret executes the program directly over the AST.
+func Interpret(p *Program, env *Env) error {
+	env.params = p
+	_, err := env.exec(p.Body)
+	return err
+}
+
+// exec runs a statement list. It returns a pending GOTO target (nonzero)
+// when a label is not found at this nesting level, for the caller to
+// resolve.
+func (e *Env) exec(body []Stmt) (pendingGoto int, err error) {
+	i := 0
+	for i < len(body) {
+		if e.steps++; e.steps > maxInterpSteps {
+			return 0, fmt.Errorf("ftn: interpreter step limit exceeded")
+		}
+		s := body[i]
+		switch st := s.(type) {
+		case *Assign:
+			if err := e.assign(st); err != nil {
+				return 0, err
+			}
+		case *Continue:
+			// label carrier only
+		case *Goto:
+			if j, ok := findLabel(body, st.Target); ok {
+				i = j
+				continue
+			}
+			return st.Target, nil
+		case *IfGoto:
+			take, err := e.cond(st)
+			if err != nil {
+				return 0, err
+			}
+			if take {
+				if j, ok := findLabel(body, st.Target); ok {
+					i = j
+					continue
+				}
+				return st.Target, nil
+			}
+		case *DoStmt:
+			pend, err := e.execDo(st)
+			if err != nil {
+				return 0, err
+			}
+			if pend != 0 {
+				if j, ok := findLabel(body, pend); ok {
+					i = j
+					continue
+				}
+				return pend, nil
+			}
+		default:
+			return 0, fmt.Errorf("ftn: cannot interpret %T", s)
+		}
+		i++
+	}
+	return 0, nil
+}
+
+func findLabel(body []Stmt, target int) (int, bool) {
+	for j, s := range body {
+		if s.StmtLabel() == target {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+func (e *Env) execDo(do *DoStmt) (pendingGoto int, err error) {
+	lo, err := e.intExpr(do.Lo)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := e.intExpr(do.Hi)
+	if err != nil {
+		return 0, err
+	}
+	step := int64(1)
+	if do.Step != nil {
+		if step, err = e.intExpr(do.Step); err != nil {
+			return 0, err
+		}
+	}
+	if step == 0 {
+		return 0, fmt.Errorf("ftn: zero DO step")
+	}
+	for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
+		e.Ints[do.Var] = v
+		pend, err := e.exec(do.Body)
+		if err != nil {
+			return 0, err
+		}
+		if pend != 0 {
+			return pend, nil
+		}
+	}
+	return 0, nil
+}
+
+func (e *Env) cond(st *IfGoto) (bool, error) {
+	lk, err := TypeOf(e.params, st.Left)
+	if err != nil {
+		return false, err
+	}
+	rk, err := TypeOf(e.params, st.Right)
+	if err != nil {
+		return false, err
+	}
+	var cmp int
+	if lk == KindReal || rk == KindReal {
+		l, err := e.realExpr(st.Left)
+		if err != nil {
+			return false, err
+		}
+		r, err := e.realExpr(st.Right)
+		if err != nil {
+			return false, err
+		}
+		switch {
+		case l < r:
+			cmp = -1
+		case l > r:
+			cmp = 1
+		}
+	} else {
+		l, err := e.intExpr(st.Left)
+		if err != nil {
+			return false, err
+		}
+		r, err := e.intExpr(st.Right)
+		if err != nil {
+			return false, err
+		}
+		switch {
+		case l < r:
+			cmp = -1
+		case l > r:
+			cmp = 1
+		}
+	}
+	switch st.Rel {
+	case "GT":
+		return cmp > 0, nil
+	case "LT":
+		return cmp < 0, nil
+	case "GE":
+		return cmp >= 0, nil
+	case "LE":
+		return cmp <= 0, nil
+	case "EQ":
+		return cmp == 0, nil
+	case "NE":
+		return cmp != 0, nil
+	}
+	return false, fmt.Errorf("ftn: unknown relation %s", st.Rel)
+}
+
+func (e *Env) assign(a *Assign) error {
+	d, ok := e.params.Decl(a.LHS.Name)
+	if !ok {
+		return fmt.Errorf("ftn: undeclared %s", a.LHS.Name)
+	}
+	if d.Kind == KindInt {
+		v, err := e.intExpr(a.RHS)
+		if err != nil {
+			return err
+		}
+		e.Ints[a.LHS.Name] = v
+		return nil
+	}
+	v, err := e.realExpr(a.RHS)
+	if err != nil {
+		return err
+	}
+	idx := int64(0)
+	if len(a.LHS.Indices) > 0 {
+		var err error
+		idx, err = e.elemIndex(d, a.LHS.Indices)
+		if err != nil {
+			return err
+		}
+	}
+	arr := e.Reals[a.LHS.Name]
+	if idx < 0 || idx >= int64(len(arr)) {
+		return fmt.Errorf("ftn: %s index %d out of range", a.LHS.Name, idx)
+	}
+	arr[idx] = v
+	return nil
+}
+
+// elemIndex linearizes 1-based column-major indices.
+func (e *Env) elemIndex(d Decl, indices []Expr) (int64, error) {
+	var off, mult int64 = 0, 1
+	for i, ix := range indices {
+		v, err := e.intExpr(ix)
+		if err != nil {
+			return 0, err
+		}
+		off += (v - 1) * mult
+		mult *= int64(d.Dims[i])
+	}
+	return off, nil
+}
+
+func (e *Env) intExpr(x Expr) (int64, error) {
+	switch v := x.(type) {
+	case Num:
+		if !v.IsInt {
+			return 0, fmt.Errorf("ftn: real literal in integer expression")
+		}
+		return int64(v.Val), nil
+	case Neg:
+		n, err := e.intExpr(v.X)
+		return -n, err
+	case *Ref:
+		if len(v.Indices) != 0 {
+			return 0, fmt.Errorf("ftn: integer arrays unsupported")
+		}
+		n, ok := e.Ints[v.Name]
+		if !ok {
+			return 0, fmt.Errorf("ftn: %s is not an integer", v.Name)
+		}
+		return n, nil
+	case Bin:
+		l, err := e.intExpr(v.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := e.intExpr(v.R)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case '+':
+			return l + r, nil
+		case '-':
+			return l - r, nil
+		case '*':
+			return l * r, nil
+		case '/':
+			if r == 0 {
+				return 0, fmt.Errorf("ftn: integer division by zero")
+			}
+			return l / r, nil
+		}
+	}
+	return 0, fmt.Errorf("ftn: bad integer expression %T", x)
+}
+
+func (e *Env) realExpr(x Expr) (float64, error) {
+	switch v := x.(type) {
+	case Num:
+		return v.Val, nil
+	case Neg:
+		n, err := e.realExpr(v.X)
+		return -n, err
+	case *Ref:
+		d, ok := e.params.Decl(v.Name)
+		if !ok {
+			return 0, fmt.Errorf("ftn: undeclared %s", v.Name)
+		}
+		if d.Kind == KindInt {
+			return float64(e.Ints[v.Name]), nil
+		}
+		idx := int64(0)
+		if len(v.Indices) > 0 {
+			var err error
+			idx, err = e.elemIndex(d, v.Indices)
+			if err != nil {
+				return 0, err
+			}
+		}
+		arr := e.Reals[v.Name]
+		if idx < 0 || idx >= int64(len(arr)) {
+			return 0, fmt.Errorf("ftn: %s index %d out of range", v.Name, idx)
+		}
+		return arr[idx], nil
+	case Bin:
+		l, err := e.realExpr(v.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := e.realExpr(v.R)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case '+':
+			return l + r, nil
+		case '-':
+			return l - r, nil
+		case '*':
+			return l * r, nil
+		case '/':
+			return l / r, nil
+		}
+	}
+	return 0, fmt.Errorf("ftn: bad real expression %T", x)
+}
+
+// Close enough for differential testing: vectorized reductions reassociate.
+func CloseEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -1,0 +1,153 @@
+package ftn
+
+import (
+	"testing"
+)
+
+func interpret(t *testing.T, src string, prime func(*Env)) *Env {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(p)
+	if prime != nil {
+		prime(env)
+	}
+	if err := Interpret(p, env); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestInterpretSimpleLoop(t *testing.T) {
+	env := interpret(t, `
+PROGRAM P
+REAL A(16)
+INTEGER I
+DO I = 1, 10
+  A(I) = 2.0
+ENDDO
+END
+`, nil)
+	for i := 0; i < 10; i++ {
+		if env.Reals["A"][i] != 2.0 {
+			t.Fatalf("A[%d] = %v", i, env.Reals["A"][i])
+		}
+	}
+	if env.Reals["A"][10] != 0 {
+		t.Error("A(11) written beyond loop bound")
+	}
+}
+
+func TestInterpretGotoCascade(t *testing.T) {
+	// The LFK2 control structure: GOTO loop around a DO.
+	env := interpret(t, `
+PROGRAM P
+INTEGER II, N, COUNT
+II = N
+COUNT = 0
+100 CONTINUE
+II = II / 2
+COUNT = COUNT + 1
+IF (II .GT. 1) GOTO 100
+END
+`, func(e *Env) { e.Ints["N"] = 64 })
+	if env.Ints["COUNT"] != 6 {
+		t.Errorf("COUNT = %d, want 6", env.Ints["COUNT"])
+	}
+}
+
+func TestInterpretGotoOutOfDo(t *testing.T) {
+	// A GOTO inside a DO targeting an outer-level label exits the loop.
+	env := interpret(t, `
+PROGRAM P
+INTEGER I, HIT
+DO I = 1, 100
+  HIT = I
+  IF (I .GE. 3) GOTO 200
+ENDDO
+200 CONTINUE
+END
+`, nil)
+	if env.Ints["HIT"] != 3 {
+		t.Errorf("HIT = %d, want 3 (early exit)", env.Ints["HIT"])
+	}
+}
+
+func TestInterpretNestedDo(t *testing.T) {
+	env := interpret(t, `
+PROGRAM P
+REAL A(4,4)
+INTEGER I, J
+DO J = 1, 4
+DO I = 1, 4
+  A(I,J) = 1.0
+ENDDO
+ENDDO
+END
+`, nil)
+	for i := 0; i < 16; i++ {
+		if env.Reals["A"][i] != 1.0 {
+			t.Fatalf("A[%d] = %v", i, env.Reals["A"][i])
+		}
+	}
+}
+
+func TestInterpretDoStep(t *testing.T) {
+	env := interpret(t, `
+PROGRAM P
+REAL A(32)
+INTEGER I
+DO I = 1, 9, 3
+  A(I) = 5.0
+ENDDO
+END
+`, nil)
+	for i, want := range map[int]float64{0: 5, 3: 5, 6: 5, 1: 0, 2: 0} {
+		if got := env.Reals["A"][i]; got != want {
+			t.Errorf("A[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestInterpretErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"PROGRAM P\nINTEGER I\nI = 1/0\nEND", "division by zero"},
+		{"PROGRAM P\nREAL A(4)\nINTEGER I\nI = 9\nA(I) = 1.0\nEND", "out of range"},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := NewEnv(p)
+		err = Interpret(p, env)
+		if err == nil {
+			t.Errorf("%q: expected error", tc.src)
+		}
+	}
+}
+
+func TestInterpretStepLimit(t *testing.T) {
+	p := MustParse("PROGRAM P\nINTEGER I\n10 CONTINUE\nI = I + 1\nGOTO 10\nEND")
+	env := NewEnv(p)
+	if err := Interpret(p, env); err == nil {
+		t.Error("infinite GOTO should hit the step limit")
+	}
+}
+
+func TestCloseEnough(t *testing.T) {
+	if !CloseEnough(1.0, 1.0+1e-12) {
+		t.Error("tiny differences should pass")
+	}
+	if CloseEnough(1.0, 1.001) {
+		t.Error("large differences should fail")
+	}
+	if !CloseEnough(0, 0) {
+		t.Error("zeros should pass")
+	}
+}

@@ -1,0 +1,156 @@
+package ftn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lex tokenizes Fortran-subset source. Statements are newline-separated;
+// lines starting with C, c or ! are comments; CDIR$ IVDEP becomes a
+// TokIVDep token; a leading integer on a line is a statement label.
+// Identifiers and keywords are case-insensitive (returned upper-cased).
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if trimmed[0] == '!' || ((trimmed[0] == 'C' || trimmed[0] == 'c') && strings.HasPrefix(strings.ToUpper(trimmed), "CDIR$") == false && len(strings.Fields(trimmed)[0]) == 1) {
+			continue
+		}
+		upper := strings.ToUpper(trimmed)
+		if strings.HasPrefix(upper, "CDIR$") {
+			if strings.Contains(upper, "IVDEP") {
+				toks = append(toks, Token{Kind: TokIVDep, Line: lineno + 1})
+				toks = append(toks, Token{Kind: TokNewline, Line: lineno + 1})
+			}
+			continue
+		}
+		lineToks, err := lexLine(upper, lineno+1)
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, lineToks...)
+		toks = append(toks, Token{Kind: TokNewline, Line: lineno + 1})
+	}
+	toks = append(toks, Token{Kind: TokEOF})
+	return toks, nil
+}
+
+func lexLine(s string, line int) ([]Token, error) {
+	var toks []Token
+	i := 0
+	atStart := true
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+			continue
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9':
+			// Relational operators look like .GT. — handled below; here a
+			// '.' must start a real literal (.5).
+			j := i
+			isReal := false
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9') {
+				j++
+			}
+			if j < len(s) && s[j] == '.' {
+				// Could be "1." or "1.5" or "1.EQ." — a digit or end or
+				// non-letter after '.' means a real literal.
+				if j+1 >= len(s) || !isLetter(s[j+1]) {
+					isReal = true
+					j++
+					for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+						j++
+					}
+				}
+			}
+			if j < len(s) && (s[j] == 'E' || s[j] == 'D') && isReal {
+				k := j + 1
+				if k < len(s) && (s[k] == '+' || s[k] == '-') {
+					k++
+				}
+				if k < len(s) && s[k] >= '0' && s[k] <= '9' {
+					for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+						k++
+					}
+					j = k
+				}
+			}
+			text := s[i:j]
+			if isReal {
+				v, err := strconv.ParseFloat(strings.Replace(text, "D", "E", 1), 64)
+				if err != nil {
+					return nil, fmt.Errorf("ftn: line %d: bad real literal %q", line, text)
+				}
+				toks = append(toks, Token{Kind: TokReal, Real: v, Line: line})
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("ftn: line %d: bad integer literal %q", line, text)
+				}
+				kind := TokInt
+				if atStart {
+					kind = TokLabel
+				}
+				toks = append(toks, Token{Kind: kind, Int: v, Line: line})
+			}
+			i = j
+		case c == '.':
+			// Relational operator .XX.
+			j := strings.IndexByte(s[i+1:], '.')
+			if j < 0 {
+				return nil, fmt.Errorf("ftn: line %d: unterminated relational operator", line)
+			}
+			name := s[i+1 : i+1+j]
+			switch name {
+			case "GT", "LT", "GE", "LE", "EQ", "NE":
+				toks = append(toks, Token{Kind: TokRel, Text: name, Line: line})
+			default:
+				return nil, fmt.Errorf("ftn: line %d: unknown operator .%s.", line, name)
+			}
+			i += j + 2
+		case isLetter(c):
+			j := i
+			for j < len(s) && (isLetter(s[j]) || s[j] >= '0' && s[j] <= '9' || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: s[i:j], Line: line})
+			i = j
+		case c == '(':
+			toks = append(toks, Token{Kind: TokLParen, Line: line})
+			i++
+		case c == ')':
+			toks = append(toks, Token{Kind: TokRParen, Line: line})
+			i++
+		case c == ',':
+			toks = append(toks, Token{Kind: TokComma, Line: line})
+			i++
+		case c == '=':
+			toks = append(toks, Token{Kind: TokAssign, Line: line})
+			i++
+		case c == '+':
+			toks = append(toks, Token{Kind: TokPlus, Line: line})
+			i++
+		case c == '-':
+			toks = append(toks, Token{Kind: TokMinus, Line: line})
+			i++
+		case c == '*':
+			toks = append(toks, Token{Kind: TokStar, Line: line})
+			i++
+		case c == '/':
+			toks = append(toks, Token{Kind: TokSlash, Line: line})
+			i++
+		default:
+			return nil, fmt.Errorf("ftn: line %d: unexpected character %q", line, c)
+		}
+		atStart = false
+	}
+	return toks, nil
+}
+
+func isLetter(c byte) bool { return c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' }

@@ -1,0 +1,400 @@
+package ftn
+
+import "fmt"
+
+// Parse parses Fortran-subset source into a Program and runs semantic
+// analysis.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for known-good sources; it panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("ftn: line %d: expected %s, found %s", t.Line, k, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) skipNewlines() {
+	for p.cur().Kind == TokNewline {
+		p.pos++
+	}
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	p.skipNewlines()
+	prog := &Program{}
+	if t := p.cur(); t.Kind == TokIdent && t.Text == "PROGRAM" {
+		p.pos++
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		prog.Name = name.Text
+		if _, err := p.expect(TokNewline); err != nil {
+			return nil, err
+		}
+	}
+	// Declarations.
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.Kind != TokIdent || (t.Text != "REAL" && t.Text != "INTEGER") {
+			break
+		}
+		p.pos++
+		kind := KindReal
+		if t.Text == "INTEGER" {
+			kind = KindInt
+		}
+		for {
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			d := Decl{Name: name.Text, Kind: kind}
+			if p.accept(TokLParen) {
+				for {
+					dim, err := p.expect(TokInt)
+					if err != nil {
+						return nil, err
+					}
+					if dim.Int <= 0 {
+						return nil, fmt.Errorf("ftn: line %d: dimension must be positive", dim.Line)
+					}
+					d.Dims = append(d.Dims, int(dim.Int))
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+			}
+			prog.Decls = append(prog.Decls, d)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokNewline); err != nil {
+			return nil, err
+		}
+	}
+	// Body until END.
+	body, err := p.parseBody("END")
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	return prog, nil
+}
+
+// parseBody parses statements until the given terminator keyword.
+func (p *parser) parseBody(term string) ([]Stmt, error) {
+	var body []Stmt
+	ivdep := false
+	for {
+		p.skipNewlines()
+		t := p.cur()
+		if t.Kind == TokEOF {
+			if term == "" {
+				return body, nil
+			}
+			return nil, fmt.Errorf("ftn: unexpected end of file, expected %s", term)
+		}
+		if t.Kind == TokIVDep {
+			p.pos++
+			ivdep = true
+			p.skipNewlines()
+			continue
+		}
+		label := 0
+		if t.Kind == TokLabel {
+			label = int(t.Int)
+			p.pos++
+			t = p.cur()
+		}
+		if t.Kind == TokIdent && t.Text == term {
+			if label != 0 {
+				return nil, fmt.Errorf("ftn: line %d: label on %s not supported", t.Line, term)
+			}
+			p.pos++
+			return body, nil
+		}
+		st, err := p.parseStmt(label, &ivdep)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, st)
+	}
+}
+
+func (p *parser) parseStmt(label int, ivdep *bool) (Stmt, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return nil, fmt.Errorf("ftn: line %d: expected statement, found %s", t.Line, t)
+	}
+	wantIVDep := *ivdep
+	*ivdep = false
+	switch t.Text {
+	case "DO":
+		p.pos++
+		v, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		var step Expr
+		if p.accept(TokComma) {
+			step, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokNewline); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBody("ENDDO")
+		if err != nil {
+			return nil, err
+		}
+		return &DoStmt{stmtBase: stmtBase{label}, Var: v.Text, Lo: lo, Hi: hi, Step: step, Body: body, IVDep: wantIVDep}, nil
+	case "IF":
+		p.pos++
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		left, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		rel, err := p.expect(TokRel)
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		kw, err := p.expect(TokIdent)
+		if err != nil || kw.Text != "GOTO" {
+			return nil, fmt.Errorf("ftn: line %d: IF must be followed by GOTO in this subset", t.Line)
+		}
+		tgt, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokNewline); err != nil {
+			return nil, err
+		}
+		return &IfGoto{stmtBase: stmtBase{label}, Left: left, Rel: rel.Text, Right: right, Target: int(tgt.Int)}, nil
+	case "GOTO":
+		p.pos++
+		tgt, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokNewline); err != nil {
+			return nil, err
+		}
+		return &Goto{stmtBase: stmtBase{label}, Target: int(tgt.Int)}, nil
+	case "CONTINUE":
+		p.pos++
+		if _, err := p.expect(TokNewline); err != nil {
+			return nil, err
+		}
+		return &Continue{stmtBase: stmtBase{label}}, nil
+	}
+	// Assignment.
+	lhs, err := p.parseRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	return &Assign{stmtBase: stmtBase{label}, LHS: lhs, RHS: rhs}, nil
+}
+
+func (p *parser) parseRef() (*Ref, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	r := &Ref{Name: name.Text}
+	if p.accept(TokLParen) {
+		for {
+			ix, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.Indices = append(r.Indices, ix)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// parseExpr parses + and - (lowest precedence).
+func (p *parser) parseExpr() (Expr, error) {
+	neg := false
+	if p.accept(TokMinus) {
+		neg = true
+	} else {
+		p.accept(TokPlus)
+	}
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if neg {
+		left = Neg{left}
+	}
+	for {
+		switch p.cur().Kind {
+		case TokPlus:
+			p.pos++
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = Bin{'+', left, r}
+		case TokMinus:
+			p.pos++
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = Bin{'-', left, r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseTerm parses * and /.
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokStar:
+			p.pos++
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = Bin{'*', left, r}
+		case TokSlash:
+			p.pos++
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = Bin{'/', left, r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.pos++
+		return Num{Val: float64(t.Int), IsInt: true}, nil
+	case TokReal:
+		p.pos++
+		return Num{Val: t.Real}, nil
+	case TokIdent:
+		return p.parseRef()
+	case TokLParen:
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokMinus:
+		p.pos++
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Neg{x}, nil
+	}
+	return nil, fmt.Errorf("ftn: line %d: expected expression, found %s", t.Line, t)
+}

@@ -1,0 +1,157 @@
+package ftn
+
+import "fmt"
+
+// Check runs semantic analysis: declarations resolve, array ranks match,
+// index and DO-bound expressions are integer, integer variables are not
+// assigned real values, and GOTO targets exist.
+func Check(p *Program) error {
+	seen := make(map[string]bool)
+	for _, d := range p.Decls {
+		if seen[d.Name] {
+			return fmt.Errorf("ftn: %s declared twice", d.Name)
+		}
+		seen[d.Name] = true
+		if len(d.Dims) > 3 {
+			return fmt.Errorf("ftn: %s: at most 3 dimensions supported", d.Name)
+		}
+	}
+	labels := make(map[int]bool)
+	var err error
+	Walk(p.Body, func(s Stmt) {
+		if err != nil {
+			return
+		}
+		if l := s.StmtLabel(); l != 0 {
+			if labels[l] {
+				err = fmt.Errorf("ftn: duplicate label %d", l)
+				return
+			}
+			labels[l] = true
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if err := checkBody(p, p.Body); err != nil {
+		return err
+	}
+	var gerr error
+	Walk(p.Body, func(s Stmt) {
+		if gerr != nil {
+			return
+		}
+		var tgt int
+		switch st := s.(type) {
+		case *Goto:
+			tgt = st.Target
+		case *IfGoto:
+			tgt = st.Target
+		default:
+			return
+		}
+		if !labels[tgt] {
+			gerr = fmt.Errorf("ftn: GOTO to undefined label %d", tgt)
+		}
+	})
+	return gerr
+}
+
+func checkBody(p *Program, body []Stmt) error {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *Assign:
+			lk, err := checkRef(p, st.LHS)
+			if err != nil {
+				return err
+			}
+			rk, err := TypeOf(p, st.RHS)
+			if err != nil {
+				return err
+			}
+			if lk == KindInt && rk == KindReal {
+				return fmt.Errorf("ftn: cannot assign REAL to INTEGER %s", st.LHS.Name)
+			}
+		case *DoStmt:
+			d, ok := p.Decl(st.Var)
+			if !ok {
+				return fmt.Errorf("ftn: undeclared DO variable %s", st.Var)
+			}
+			if d.Kind != KindInt || d.IsArray() {
+				return fmt.Errorf("ftn: DO variable %s must be an INTEGER scalar", st.Var)
+			}
+			for _, e := range []Expr{st.Lo, st.Hi, st.Step} {
+				if e == nil {
+					continue
+				}
+				k, err := TypeOf(p, e)
+				if err != nil {
+					return err
+				}
+				if k != KindInt {
+					return fmt.Errorf("ftn: DO bounds of %s must be INTEGER", st.Var)
+				}
+			}
+			if err := checkBody(p, st.Body); err != nil {
+				return err
+			}
+		case *IfGoto:
+			for _, e := range []Expr{st.Left, st.Right} {
+				if _, err := TypeOf(p, e); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkRef(p *Program, r *Ref) (BasicKind, error) {
+	d, ok := p.Decl(r.Name)
+	if !ok {
+		return KindReal, fmt.Errorf("ftn: undeclared variable %s", r.Name)
+	}
+	if len(r.Indices) != len(d.Dims) {
+		return d.Kind, fmt.Errorf("ftn: %s has %d dimensions, referenced with %d indices", r.Name, len(d.Dims), len(r.Indices))
+	}
+	for _, ix := range r.Indices {
+		k, err := TypeOf(p, ix)
+		if err != nil {
+			return d.Kind, err
+		}
+		if k != KindInt {
+			return d.Kind, fmt.Errorf("ftn: index of %s must be INTEGER", r.Name)
+		}
+	}
+	return d.Kind, nil
+}
+
+// TypeOf infers the type of an expression: integer arithmetic stays
+// integer; any real operand promotes to real (Fortran mixed-mode rules).
+func TypeOf(p *Program, e Expr) (BasicKind, error) {
+	switch x := e.(type) {
+	case Num:
+		if x.IsInt {
+			return KindInt, nil
+		}
+		return KindReal, nil
+	case *Ref:
+		return checkRef(p, x)
+	case Neg:
+		return TypeOf(p, x.X)
+	case Bin:
+		lk, err := TypeOf(p, x.L)
+		if err != nil {
+			return lk, err
+		}
+		rk, err := TypeOf(p, x.R)
+		if err != nil {
+			return rk, err
+		}
+		if lk == KindReal || rk == KindReal {
+			return KindReal, nil
+		}
+		return KindInt, nil
+	}
+	return KindReal, fmt.Errorf("ftn: unknown expression %T", e)
+}

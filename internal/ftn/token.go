@@ -1,0 +1,93 @@
+// Package ftn implements the Fortran-subset front end used to express the
+// Livermore kernels: a lexer, parser, AST and semantic analysis. The
+// subset covers what the ten LFKs of the paper's case study need: REAL and
+// INTEGER declarations with up to three array dimensions (column-major,
+// 1-based), assignments, nested DO/ENDDO loops with optional step, labeled
+// CONTINUE, GOTO, IF (...) GOTO, and the CDIR$ IVDEP vectorization
+// directive.
+package ftn
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIdent
+	TokInt
+	TokReal
+	TokLParen
+	TokRParen
+	TokComma
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokRel   // .GT. .LT. .GE. .LE. .EQ. .NE.
+	TokLabel // leading statement label
+	TokIVDep // CDIR$ IVDEP directive
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of file"
+	case TokNewline:
+		return "end of line"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokReal:
+		return "real number"
+	case TokLParen:
+		return "("
+	case TokRParen:
+		return ")"
+	case TokComma:
+		return ","
+	case TokAssign:
+		return "="
+	case TokPlus:
+		return "+"
+	case TokMinus:
+		return "-"
+	case TokStar:
+		return "*"
+	case TokSlash:
+		return "/"
+	case TokRel:
+		return "relational operator"
+	case TokLabel:
+		return "label"
+	case TokIVDep:
+		return "IVDEP directive"
+	}
+	return "token?"
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string  // identifier name, relational op name (GT, LE, ...)
+	Int  int64   // TokInt, TokLabel
+	Real float64 // TokReal
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	case TokInt, TokLabel:
+		return fmt.Sprintf("%s %d", t.Kind, t.Int)
+	case TokReal:
+		return fmt.Sprintf("%s %g", t.Kind, t.Real)
+	default:
+		return t.Kind.String()
+	}
+}

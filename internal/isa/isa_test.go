@@ -1,0 +1,349 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	tests := []struct {
+		r    Reg
+		want string
+	}{
+		{A(5), "a5"},
+		{S(0), "s0"},
+		{V(7), "v7"},
+		{VL(), "vl"},
+		{VS(), "vs"},
+		{NoReg(), "-"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("Reg%v.String() = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestRegPair(t *testing.T) {
+	// {v0,v4} {v1,v5} {v2,v6} {v3,v7} are the register pairs.
+	for n := 0; n < NumVRegs; n++ {
+		want := n % 4
+		if got := V(n).Pair(); got != want {
+			t.Errorf("V(%d).Pair() = %d, want %d", n, got, want)
+		}
+	}
+	if got := S(3).Pair(); got != -1 {
+		t.Errorf("S(3).Pair() = %d, want -1", got)
+	}
+	if got := A(0).Pair(); got != -1 {
+		t.Errorf("A(0).Pair() = %d, want -1", got)
+	}
+}
+
+func TestPairMembership(t *testing.T) {
+	if V(0).Pair() != V(4).Pair() {
+		t.Error("v0 and v4 should share a pair")
+	}
+	if V(2).Pair() != V(6).Pair() {
+		t.Error("v2 and v6 should share a pair")
+	}
+	if V(0).Pair() == V(1).Pair() {
+		t.Error("v0 and v1 should not share a pair")
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	tests := []struct {
+		o    Operand
+		want string
+	}{
+		{RegOp(V(2)), "v2"},
+		{ImmOp(1024), "#1024"},
+		{MemOp("space1", 40120, A(5)), "space1+40120(a5)"},
+		{MemOp("", 16, A(2)), "16(a2)"},
+		{MemOp("x", 0, A(1)), "x(a1)"},
+		{LabelOp("L7"), "L7"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("Operand.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{
+		Op:     OpLd,
+		Suffix: SufL,
+		Ops:    []Operand{MemOp("space1", 40120, A(5)), RegOp(V(0))},
+	}
+	want := "ld.l space1+40120(a5),v0"
+	if got := in.String(); got != want {
+		t.Errorf("Instr.String() = %q, want %q", got, want)
+	}
+	in2 := Instr{Op: OpMul, Suffix: SufD, Ops: []Operand{RegOp(V(0)), RegOp(S(1)), RegOp(V(1))}}
+	if got, want := in2.String(), "mul.d v0,s1,v1"; got != want {
+		t.Errorf("Instr.String() = %q, want %q", got, want)
+	}
+}
+
+func TestIsVector(t *testing.T) {
+	vload := Instr{Op: OpLd, Suffix: SufL, Ops: []Operand{MemOp("", 0, A(5)), RegOp(V(0))}}
+	sload := Instr{Op: OpLd, Suffix: SufL, Ops: []Operand{MemOp("", 0, A(5)), RegOp(S(0))}}
+	vmulScalarOperand := Instr{Op: OpMul, Suffix: SufD, Ops: []Operand{RegOp(V(0)), RegOp(S(1)), RegOp(V(1))}}
+	smul := Instr{Op: OpMul, Suffix: SufD, Ops: []Operand{RegOp(S(0)), RegOp(S(1)), RegOp(S(2))}}
+
+	if !vload.IsVector() {
+		t.Error("vector load not classified as vector")
+	}
+	if sload.IsVector() {
+		t.Error("scalar load classified as vector")
+	}
+	if !vmulScalarOperand.IsVector() {
+		t.Error("vector multiply with scalar operand not classified as vector")
+	}
+	if smul.IsVector() {
+		t.Error("scalar multiply classified as vector")
+	}
+}
+
+func TestPipeAssignment(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want Pipe
+	}{
+		{OpLd, PipeLoadStore},
+		{OpSt, PipeLoadStore},
+		{OpAdd, PipeAdd},
+		{OpSub, PipeAdd},
+		{OpNeg, PipeAdd},
+		{OpSum, PipeAdd},
+		{OpCvt, PipeAdd},
+		{OpShf, PipeAdd},
+		{OpAnd, PipeAdd},
+		{OpMul, PipeMul},
+		{OpDiv, PipeMul},
+		{OpSqrt, PipeMul},
+		{OpJmp, PipeNone},
+		{OpMov, PipeAdd}, // vector moves use the add pipe; scalar moves never ask
+	}
+	for _, tt := range tests {
+		if got := tt.op.Pipe(); got != tt.want {
+			t.Errorf("%v.Pipe() = %v, want %v", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestScalarInstrHasNoPipe(t *testing.T) {
+	smul := Instr{Op: OpMul, Suffix: SufD, Ops: []Operand{RegOp(S(0)), RegOp(S(1)), RegOp(S(2))}}
+	if got := smul.Pipe(); got != PipeNone {
+		t.Errorf("scalar mul Pipe() = %v, want PipeNone", got)
+	}
+	vmul := Instr{Op: OpMul, Suffix: SufD, Ops: []Operand{RegOp(V(0)), RegOp(V(1)), RegOp(V(2))}}
+	if got := vmul.Pipe(); got != PipeMul {
+		t.Errorf("vector mul Pipe() = %v, want PipeMul", got)
+	}
+}
+
+func TestOpClass(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want OpClass
+	}{
+		{OpAdd, ClassFPAdd},
+		{OpSub, ClassFPAdd},
+		{OpNeg, ClassFPAdd},
+		{OpSum, ClassFPAdd},
+		{OpMul, ClassFPMul},
+		{OpDiv, ClassFPMul},
+		{OpSqrt, ClassFPMul},
+		{OpLd, ClassLoad},
+		{OpSt, ClassStore},
+		{OpMov, ClassOther},
+		{OpJbrs, ClassOther},
+	}
+	for _, tt := range tests {
+		if got := tt.op.Class(); got != tt.want {
+			t.Errorf("%v.Class() = %v, want %v", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestDstAndSources(t *testing.T) {
+	// mul.d v0,s1,v1: reads v0, s1, vl; writes v1.
+	in := Instr{Op: OpMul, Suffix: SufD, Ops: []Operand{RegOp(V(0)), RegOp(S(1)), RegOp(V(1))}}
+	d, ok := in.Dst()
+	if !ok || d != V(1) {
+		t.Fatalf("Dst() = %v,%v, want v1,true", d, ok)
+	}
+	srcs := in.Sources()
+	wantSrcs := map[Reg]bool{V(0): true, S(1): true, VL(): true}
+	if len(srcs) != len(wantSrcs) {
+		t.Fatalf("Sources() = %v, want %v", srcs, wantSrcs)
+	}
+	for _, s := range srcs {
+		if !wantSrcs[s] {
+			t.Errorf("unexpected source %v", s)
+		}
+	}
+}
+
+func TestStoreReadsValueRegister(t *testing.T) {
+	// st.l v0,x(a5): reads v0, a5, vl, vs; writes nothing.
+	in := Instr{Op: OpSt, Suffix: SufL, Ops: []Operand{RegOp(V(0)), MemOp("x", 0, A(5))}}
+	if _, ok := in.Dst(); ok {
+		t.Error("store should have no register destination")
+	}
+	found := false
+	for _, s := range in.Sources() {
+		if s == V(0) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("store Sources() = %v, missing v0", in.Sources())
+	}
+}
+
+func TestVectorLoadReadsVLVS(t *testing.T) {
+	in := Instr{Op: OpLd, Suffix: SufL, Ops: []Operand{MemOp("", 0, A(5)), RegOp(V(0))}}
+	var hasVL, hasVS, hasA5 bool
+	for _, s := range in.Sources() {
+		switch s {
+		case VL():
+			hasVL = true
+		case VS():
+			hasVS = true
+		case A(5):
+			hasA5 = true
+		}
+	}
+	if !hasVL || !hasVS || !hasA5 {
+		t.Errorf("vector load Sources() = %v, want vl, vs and a5 present", in.Sources())
+	}
+}
+
+func TestVectorWrite(t *testing.T) {
+	in := Instr{Op: OpAdd, Suffix: SufD, Ops: []Operand{RegOp(V(1)), RegOp(V(0)), RegOp(V(3))}}
+	w, ok := in.VectorWrite()
+	if !ok || w != V(3) {
+		t.Fatalf("VectorWrite() = %v,%v, want v3,true", w, ok)
+	}
+	reads := in.VectorReads()
+	if len(reads) != 2 {
+		t.Fatalf("VectorReads() = %v, want two registers", reads)
+	}
+	// sum.d v0,s1 writes a scalar: no vector write.
+	red := Instr{Op: OpSum, Suffix: SufD, Ops: []Operand{RegOp(V(0)), RegOp(S(1))}}
+	if _, ok := red.VectorWrite(); ok {
+		t.Error("reduction writing a scalar should have no vector write")
+	}
+	if !red.IsVector() {
+		t.Error("reduction reads v0 and must be a vector instruction")
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := OpNop; op < numOps; op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v,%v, want %v,true", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName(bogus) should fail")
+	}
+}
+
+func TestSuffixByNameRoundTrip(t *testing.T) {
+	for _, s := range []Suffix{SufL, SufW, SufD, SufS, SufT, SufF} {
+		got, ok := SuffixByName(s.String())
+		if !ok || got != s {
+			t.Errorf("SuffixByName(%q) = %v,%v, want %v,true", s.String(), got, ok, s)
+		}
+	}
+}
+
+func TestTable1Timings(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want Timing
+	}{
+		{OpLd, Timing{2, 10, 1.00, 2}},
+		{OpSt, Timing{2, 10, 1.00, 4}},
+		{OpAdd, Timing{2, 10, 1.00, 1}},
+		{OpMul, Timing{2, 12, 1.00, 1}},
+		{OpSub, Timing{2, 10, 1.00, 1}},
+		{OpDiv, Timing{2, 72, 4.00, 21}},
+		{OpSum, Timing{2, 10, 1.35, 0}},
+		{OpNeg, Timing{2, 10, 1.00, 1}},
+	}
+	for _, tt := range tests {
+		got, ok := VectorTiming(tt.op)
+		if !ok {
+			t.Fatalf("VectorTiming(%v) missing", tt.op)
+		}
+		if got != tt.want {
+			t.Errorf("VectorTiming(%v) = %+v, want %+v", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestVectorTimingMissingForControlOps(t *testing.T) {
+	for _, op := range []Op{OpJmp, OpJbrs, OpLe, OpHalt, OpNop} {
+		if _, ok := VectorTiming(op); ok {
+			t.Errorf("VectorTiming(%v) should not exist", op)
+		}
+	}
+}
+
+func TestMustVectorTimingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustVectorTiming(OpJmp) should panic")
+		}
+	}()
+	MustVectorTiming(OpJmp)
+}
+
+func TestCPFToMFLOPS(t *testing.T) {
+	// Paper Table 4: average MA CPF 1.080 -> 23.15 MFLOPS at 25 MHz.
+	got := CPFToMFLOPS(1.080)
+	if got < 23.1 || got > 23.2 {
+		t.Errorf("CPFToMFLOPS(1.080) = %v, want about 23.15", got)
+	}
+	if CPFToMFLOPS(0) != 0 {
+		t.Error("CPFToMFLOPS(0) should be 0")
+	}
+}
+
+func TestPairPropertyQuick(t *testing.T) {
+	// Property: pairing is symmetric and partitions v0..v7 into 4 pairs of 2.
+	f := func(n uint8) bool {
+		a := int(n % NumVRegs)
+		b := (a + 4) % NumVRegs
+		return V(a).Pair() == V(b).Pair() && V(a).Pair() >= 0 && V(a).Pair() < 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrStringWithComment(t *testing.T) {
+	in := Instr{Op: OpSub, Suffix: SufW, Ops: []Operand{ImmOp(128), RegOp(S(0))}, Comment: "#146"}
+	if got, want := in.String(), "sub.w #128,s0 ; #146"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestBranchClassification(t *testing.T) {
+	jbrs := Instr{Op: OpJbrs, Suffix: SufT, Ops: []Operand{LabelOp("L7")}}
+	jmp := Instr{Op: OpJmp, Ops: []Operand{LabelOp("L1")}}
+	add := Instr{Op: OpAdd, Suffix: SufW, Ops: []Operand{ImmOp(1), RegOp(A(1))}}
+	if !jbrs.IsBranch() || !jmp.IsBranch() {
+		t.Error("jbrs/jmp should be branches")
+	}
+	if add.IsBranch() {
+		t.Error("add should not be a branch")
+	}
+}

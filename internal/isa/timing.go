@@ -1,0 +1,87 @@
+package isa
+
+// Timing holds the X/Y/Z/B parameters of one vector instruction type
+// (paper Table 1, VL = 128):
+//
+//	X  clock cycles of initial overhead,
+//	Y  additional cycles until the first element result is available,
+//	Z  additional cycles per vector element,
+//	B  empirically observed tailgating bubble between successive
+//	   instructions in a pipe (handshaking restart penalty).
+type Timing struct {
+	X int
+	Y int
+	Z float64
+	B int
+}
+
+// Table 1 of the paper. Vector reduction uses the conservative Z = 1.35
+// with B = 0 (footnote b); vector divide has the long Y and Z = 4
+// (footnote a: masked by other instructions absent a resource conflict).
+var timings = map[Op]Timing{
+	OpLd:   {X: 2, Y: 10, Z: 1.00, B: 2},
+	OpSt:   {X: 2, Y: 10, Z: 1.00, B: 4},
+	OpAdd:  {X: 2, Y: 10, Z: 1.00, B: 1},
+	OpSub:  {X: 2, Y: 10, Z: 1.00, B: 1},
+	OpMul:  {X: 2, Y: 12, Z: 1.00, B: 1},
+	OpDiv:  {X: 2, Y: 72, Z: 4.00, B: 21},
+	OpSqrt: {X: 2, Y: 72, Z: 4.00, B: 21},
+	OpSum:  {X: 2, Y: 10, Z: 1.35, B: 0},
+	OpNeg:  {X: 2, Y: 10, Z: 1.00, B: 1},
+	OpAnd:  {X: 2, Y: 10, Z: 1.00, B: 1},
+	OpOr:   {X: 2, Y: 10, Z: 1.00, B: 1},
+	OpShf:  {X: 2, Y: 10, Z: 1.00, B: 1},
+	OpCvt:  {X: 2, Y: 10, Z: 1.00, B: 1},
+	OpMov:  {X: 2, Y: 10, Z: 1.00, B: 1}, // vector register move
+}
+
+// VectorTiming returns the Table 1 parameters for an opcode executed as a
+// vector instruction; ok is false for opcodes with no vector form.
+func VectorTiming(op Op) (Timing, bool) {
+	t, ok := timings[op]
+	return t, ok
+}
+
+// MustVectorTiming is VectorTiming for opcodes known to have vector forms;
+// it panics otherwise (programming error).
+func MustVectorTiming(op Op) Timing {
+	t, ok := timings[op]
+	if !ok {
+		panic("isa: no vector timing for " + op.String())
+	}
+	return t
+}
+
+// Machine-level constants of the Convex C-240 (paper §2, §3.2).
+const (
+	// ClockNS is the effective system clock period in nanoseconds.
+	ClockNS = 40
+	// ClockMHz is the clock rate in MHz, used for MFLOPS conversion.
+	ClockMHz = 25.0
+	// MemBanks is the number of interleaved memory banks.
+	MemBanks = 32
+	// BankCycle is the bank busy time in clock cycles.
+	BankCycle = 8
+	// WordBytes is the memory word size in bytes.
+	WordBytes = 8
+	// RefreshPeriod is the interval between memory refreshes, in cycles.
+	RefreshPeriod = 400
+	// RefreshLen is the duration of one refresh, in cycles.
+	RefreshLen = 8
+	// RefreshFactor is the MACS-bound multiplier applied to groups of four
+	// or more successive chimes that each include a memory operation.
+	RefreshFactor = 1.02
+	// PairMaxReads and PairMaxWrites bound references to one vector
+	// register pair within a single chime.
+	PairMaxReads  = 2
+	PairMaxWrites = 1
+)
+
+// CPFToMFLOPS converts an average cycles-per-flop figure to MFLOPS at the
+// C-240 clock rate (paper Eq. 4).
+func CPFToMFLOPS(avgCPF float64) float64 {
+	if avgCPF <= 0 {
+		return 0
+	}
+	return ClockMHz / avgCPF
+}

@@ -1,0 +1,143 @@
+package mem
+
+// This file models the five-port memory arbiter (four CPUs plus I/O) used
+// to study multi-process contention (paper §4.2): when all four processors
+// run different programs, memory contention typically degrades an access
+// stream from one access per 40 ns cycle to one per 56-64 ns; four copies
+// of the same executable fall into lockstep and lose only 5-10%.
+
+// Stream describes one port's access pattern for a contention simulation.
+type Stream struct {
+	Base        int64 // first address
+	StrideBytes int64 // address increment per access
+	IssueEvery  int   // try one access every IssueEvery cycles (>=1)
+	Jitter      bool  // re-randomize phase at strip boundaries (different-program behaviour)
+	Strip       int   // accesses per strip before a jitter break (if Jitter)
+	seed        uint64
+}
+
+// PortStats reports the outcome for one stream.
+type PortStats struct {
+	Accesses        int
+	Cycles          int64
+	CyclesPerAccess float64 // average issue-to-issue interval achieved
+	StallCycles     int64
+}
+
+// SimulateContention runs the given access streams through the banked
+// memory for the requested number of accesses per stream and reports each
+// stream's achieved access rate. Arbitration is per-bank: an access waits
+// while its target bank is busy or the memory is refreshing; ties in the
+// same cycle are granted in rotating port priority order.
+func SimulateContention(cfg Config, streams []Stream, accessesPerStream int) []PortStats {
+	type portState struct {
+		Stream
+		addr      int64
+		nextTry   int64
+		remaining int
+		inStrip   int
+		stats     PortStats
+	}
+	ports := make([]*portState, len(streams))
+	for i, s := range streams {
+		if s.IssueEvery < 1 {
+			s.IssueEvery = 1
+		}
+		if s.Strip <= 0 {
+			s.Strip = 128
+		}
+		s.seed = uint64(2*i + 1)
+		ports[i] = &portState{Stream: s, addr: s.Base, remaining: accessesPerStream}
+	}
+	busyUntil := make([]int64, cfg.Banks)
+	var cycle int64
+	prio := 0
+	active := len(ports)
+	for active > 0 {
+		// Grant at most one access per port per cycle, rotating priority.
+		grantedBanks := make(map[int]bool, len(ports))
+		for k := 0; k < len(ports); k++ {
+			p := ports[(prio+k)%len(ports)]
+			if p.remaining <= 0 || p.nextTry > cycle {
+				continue
+			}
+			bank := cfg.BankOf(p.addr)
+			if grantedBanks[bank] || busyUntil[bank] > cycle || cfg.InRefresh(cycle) {
+				p.stats.StallCycles++
+				continue
+			}
+			grantedBanks[bank] = true
+			busyUntil[bank] = cycle + int64(cfg.BankCycle)
+			p.addr += p.StrideBytes
+			p.remaining--
+			p.stats.Accesses++
+			p.inStrip++
+			p.nextTry = cycle + int64(p.IssueEvery)
+			if p.Jitter && p.inStrip >= p.Strip {
+				// Different programs: between strips the CPU does scalar
+				// work of pseudo-random length, breaking any lockstep.
+				p.inStrip = 0
+				p.seed = xorshift(p.seed)
+				p.nextTry += int64(p.seed % 17)
+				p.seed = xorshift(p.seed)
+				p.addr = p.Base + int64(p.seed%64)*8
+			}
+			if p.remaining == 0 {
+				p.stats.Cycles = cycle + 1
+				active--
+			}
+		}
+		prio++
+		cycle++
+	}
+	out := make([]PortStats, len(ports))
+	for i, p := range ports {
+		p.stats.CyclesPerAccess = float64(p.stats.Cycles) / float64(max(1, p.stats.Accesses))
+		out[i] = p.stats
+	}
+	return out
+}
+
+// ContentionSlowdown compares each of nStreams access streams run alone
+// against the same streams run concurrently and returns the average ratio
+// of achieved access intervals (>= 1). With jitter false all streams are
+// identical unit-stride copies of the same executable, which fall into
+// lockstep (paper: 5-10% degradation). With jitter true the streams model
+// different programs — different strides and pseudo-random scalar breaks —
+// which contend much harder (paper: one access per 56-64 ns vs 40 ns peak).
+func ContentionSlowdown(cfg Config, nStreams int, jitter bool, accesses int) float64 {
+	streams := make([]Stream, nStreams)
+	for i := range streams {
+		s := Stream{Base: int64(i) * 8192, StrideBytes: 8, IssueEvery: 1, Strip: 128}
+		if jitter {
+			// Different programs: a mix of unit and non-unit strides plus
+			// strip-boundary phase breaks keeps the streams re-colliding.
+			strides := []int64{8, 24, 40, 8, 16, 56}
+			s.StrideBytes = strides[i%len(strides)]
+			s.Jitter = true
+			s.Strip = 32 + 16*(i%3)
+		}
+		streams[i] = s
+	}
+	var ratio float64
+	together := SimulateContention(cfg, streams, accesses)
+	for i, s := range streams {
+		solo := SimulateContention(cfg, []Stream{s}, accesses)
+		ratio += together[i].CyclesPerAccess / solo[0].CyclesPerAccess
+	}
+	return ratio / float64(nStreams)
+}
+
+func xorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package mem
+
+import "macs/internal/isa"
+
+// BankModel tracks the busy state of the interleaved banks for one access
+// stream and answers timing queries: given an address and the cycle at
+// which the CPU wants to access it, when can the access proceed?
+//
+// A bank is busy for cfg.BankCycle cycles after each access. During a
+// refresh window (every RefreshPeriod cycles, RefreshLen long) the whole
+// memory is unavailable.
+type BankModel struct {
+	cfg       Config
+	busyUntil []int64
+}
+
+// NewBankModel creates a bank timing model.
+func NewBankModel(cfg Config) *BankModel {
+	return &BankModel{cfg: cfg, busyUntil: make([]int64, cfg.Banks)}
+}
+
+// Config returns the model's configuration.
+func (b *BankModel) Config() Config { return b.cfg }
+
+// Reset clears all bank busy state.
+func (b *BankModel) Reset() {
+	for i := range b.busyUntil {
+		b.busyUntil[i] = 0
+	}
+}
+
+// Access performs one timed access at or after cycle now and returns the
+// cycle at which the access actually starts (the bank then stays busy for
+// BankCycle cycles).
+func (b *BankModel) Access(addr, now int64) int64 {
+	bank := b.cfg.BankOf(addr)
+	t := now
+	if b.busyUntil[bank] > t {
+		t = b.busyUntil[bank]
+	}
+	t = b.cfg.NextFree(t)
+	b.busyUntil[bank] = t + int64(b.cfg.BankCycle)
+	return t
+}
+
+// StreamStall computes the extra cycles (beyond one per element) that a
+// vector memory stream of n elements with the given byte stride suffers
+// from bank conflicts and refresh, when its first element accesses memory
+// at cycle start. It is a pure function of the model configuration; it
+// does not disturb the model's bank state.
+func (b *BankModel) StreamStall(start int64, base int64, strideBytes int64, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	probe := NewBankModel(b.cfg)
+	t := start
+	var stall int64
+	addr := base
+	for i := 0; i < n; i++ {
+		at := probe.Access(addr, t)
+		stall += at - t
+		t = at + 1 // next element wants to go the following cycle
+		addr += strideBytes
+	}
+	return stall
+}
+
+// Stream performs a timed n-element access stream against the model,
+// mutating bank state (unlike StreamStall's probe): element k wants to
+// access at start+k plus accumulated stalls. It returns the extra stall
+// cycles beyond one access per cycle. Use for co-simulation where
+// multiple CPUs share the banks.
+func (b *BankModel) Stream(start, base, strideBytes int64, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	t := start
+	var stall int64
+	addr := base
+	for i := 0; i < n; i++ {
+		at := b.Access(addr, t)
+		stall += at - t
+		t = at + 1
+		addr += strideBytes
+	}
+	return stall
+}
+
+// UnitStrideConflictFree reports whether a stream with the given byte
+// stride can run at one access per cycle with no bank conflicts: the bank
+// revisit interval must be at least the bank cycle time.
+func (cfg Config) UnitStrideConflictFree(strideBytes int64) bool {
+	if strideBytes == 0 {
+		return false
+	}
+	words := strideBytes / isa.WordBytes
+	if words == 0 {
+		words = 1
+	}
+	if words < 0 {
+		words = -words
+	}
+	g := gcd(words, int64(cfg.Banks))
+	revisit := int64(cfg.Banks) / g
+	return revisit >= int64(cfg.BankCycle)
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,153 @@
+// Package mem implements the Convex C-240 memory subsystem: flat functional
+// storage with symbol allocation, a 32-bank interleaved timing model with
+// periodic refresh, and a five-port arbiter (four CPUs plus I/O) used for
+// the multi-process contention experiments (paper §2, §3.2, §4.2).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"macs/internal/isa"
+)
+
+// Config holds the memory system timing parameters. The zero value is not
+// useful; use DefaultConfig.
+type Config struct {
+	Banks          int  // number of interleaved banks
+	BankCycle      int  // bank busy time per access, in clock cycles
+	RefreshPeriod  int  // cycles between refreshes
+	RefreshLen     int  // cycles each refresh lasts
+	RefreshEnabled bool // model refresh stalls
+}
+
+// DefaultConfig returns the standard C-240 configuration: 32 banks, 8-cycle
+// bank cycle, refresh every 400 cycles lasting 8 cycles.
+func DefaultConfig() Config {
+	return Config{
+		Banks:          isa.MemBanks,
+		BankCycle:      isa.BankCycle,
+		RefreshPeriod:  isa.RefreshPeriod,
+		RefreshLen:     isa.RefreshLen,
+		RefreshEnabled: true,
+	}
+}
+
+// Memory is the functional storage shared by all CPUs: a flat byte array
+// with bump allocation of named symbols. It carries no timing state.
+type Memory struct {
+	bytes   []byte
+	symbols map[string]int64
+	next    int64
+}
+
+// New creates a memory of the given size in bytes.
+func New(size int64) *Memory {
+	return &Memory{
+		bytes:   make([]byte, size),
+		symbols: make(map[string]int64),
+		next:    64, // keep address 0 unmapped to catch null dereferences
+	}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int64 { return int64(len(m.bytes)) }
+
+// Alloc reserves size bytes for a named symbol, 8-byte aligned, and returns
+// its base address. Allocating an existing name returns the existing base
+// (sizes must then match).
+func (m *Memory) Alloc(name string, size int64) (int64, error) {
+	if addr, ok := m.symbols[name]; ok {
+		return addr, nil
+	}
+	if size < 0 {
+		return 0, fmt.Errorf("mem: negative size for %q", name)
+	}
+	addr := (m.next + 7) &^ 7
+	if addr+size > int64(len(m.bytes)) {
+		return 0, fmt.Errorf("mem: out of memory allocating %q (%d bytes)", name, size)
+	}
+	m.symbols[name] = addr
+	m.next = addr + size
+	return addr, nil
+}
+
+// SymbolAddr resolves a symbol name to its base address.
+func (m *Memory) SymbolAddr(name string) (int64, bool) {
+	a, ok := m.symbols[name]
+	return a, ok
+}
+
+func (m *Memory) check(addr int64, n int64) error {
+	if addr < 0 || addr+n > int64(len(m.bytes)) {
+		return fmt.Errorf("mem: access at %d (+%d) out of range [0,%d)", addr, n, len(m.bytes))
+	}
+	return nil
+}
+
+// ReadF64 loads a 64-bit float.
+func (m *Memory) ReadF64(addr int64) (float64, error) {
+	if err := m.check(addr, 8); err != nil {
+		return 0, err
+	}
+	bits := binary.LittleEndian.Uint64(m.bytes[addr:])
+	return math.Float64frombits(bits), nil
+}
+
+// WriteF64 stores a 64-bit float.
+func (m *Memory) WriteF64(addr int64, v float64) error {
+	if err := m.check(addr, 8); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(m.bytes[addr:], math.Float64bits(v))
+	return nil
+}
+
+// ReadI64 loads a 64-bit integer.
+func (m *Memory) ReadI64(addr int64) (int64, error) {
+	if err := m.check(addr, 8); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(m.bytes[addr:])), nil
+}
+
+// WriteI64 stores a 64-bit integer.
+func (m *Memory) WriteI64(addr int64, v int64) error {
+	if err := m.check(addr, 8); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(m.bytes[addr:], uint64(v))
+	return nil
+}
+
+// BankOf returns the interleaved bank index of an address under cfg:
+// consecutive 8-byte words map to consecutive banks.
+func (cfg Config) BankOf(addr int64) int {
+	w := addr / isa.WordBytes
+	b := int(w % int64(cfg.Banks))
+	if b < 0 {
+		b += cfg.Banks
+	}
+	return b
+}
+
+// InRefresh reports whether the given cycle falls inside a refresh window.
+func (cfg Config) InRefresh(cycle int64) bool {
+	if !cfg.RefreshEnabled || cfg.RefreshPeriod <= 0 {
+		return false
+	}
+	return cycle%int64(cfg.RefreshPeriod) < int64(cfg.RefreshLen)
+}
+
+// NextFree returns the first cycle at or after now that is outside any
+// refresh window.
+func (cfg Config) NextFree(now int64) int64 {
+	if !cfg.RefreshEnabled || cfg.RefreshPeriod <= 0 {
+		return now
+	}
+	if off := now % int64(cfg.RefreshPeriod); off < int64(cfg.RefreshLen) {
+		return now + int64(cfg.RefreshLen) - off
+	}
+	return now
+}

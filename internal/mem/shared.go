@@ -1,0 +1,90 @@
+package mem
+
+import "sort"
+
+// SharedBanks is the bank timing model used for multi-CPU co-simulation.
+// Unlike BankModel's single next-free time per bank, it tracks busy
+// *intervals*, so a stream reserved later in walk order can still use
+// earlier gaps — without this, whole-stream reservations from different
+// CPUs would serialize even when their actual time windows never overlap.
+type SharedBanks struct {
+	cfg   Config
+	banks [][]span
+}
+
+// span is one busy interval [s, e).
+type span struct{ s, e int64 }
+
+// NewSharedBanks creates the interval-tracking model.
+func NewSharedBanks(cfg Config) *SharedBanks {
+	return &SharedBanks{cfg: cfg, banks: make([][]span, cfg.Banks)}
+}
+
+// Config returns the model configuration.
+func (b *SharedBanks) Config() Config { return b.cfg }
+
+// Access reserves the earliest bank-busy slot of length BankCycle
+// starting at or after now, honoring refresh windows, and returns its
+// start time.
+func (b *SharedBanks) Access(addr, now int64) int64 {
+	bank := b.cfg.BankOf(addr)
+	spans := b.banks[bank]
+	bc := int64(b.cfg.BankCycle)
+
+	place := b.cfg.NextFree(now)
+	// Consider spans that end after the candidate; earlier ones cannot
+	// overlap [place, place+bc).
+	i := sort.Search(len(spans), func(k int) bool { return spans[k].e > place })
+	for i < len(spans) && place+bc > spans[i].s {
+		place = b.cfg.NextFree(spans[i].e)
+		i++
+	}
+	b.insert(bank, span{place, place + bc})
+	return place
+}
+
+// insert merges a new busy span into the bank's sorted interval list.
+func (b *SharedBanks) insert(bank int, sp span) {
+	spans := b.banks[bank]
+	i := sort.Search(len(spans), func(k int) bool { return spans[k].s >= sp.s })
+	// Merge with predecessor when touching.
+	if i > 0 && spans[i-1].e >= sp.s {
+		i--
+		sp.s = spans[i].s
+		sp.e = maxI64(sp.e, spans[i].e)
+	}
+	// Absorb successors the span now covers or touches.
+	j := i
+	for j < len(spans) && spans[j].s <= sp.e {
+		sp.e = maxI64(sp.e, spans[j].e)
+		j++
+	}
+	tail := append([]span(nil), spans[j:]...) // copy before clobbering
+	out := append(spans[:i], sp)
+	b.banks[bank] = append(out, tail...)
+}
+
+// Stream reserves an n-element access stream starting at or after start
+// and returns the stall cycles beyond one access per cycle.
+func (b *SharedBanks) Stream(start, base, strideBytes int64, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	t := start
+	var stall int64
+	addr := base
+	for i := 0; i < n; i++ {
+		at := b.Access(addr, t)
+		stall += at - t
+		t = at + 1
+		addr += strideBytes
+	}
+	return stall
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func noRefresh() Config {
+	cfg := DefaultConfig()
+	cfg.RefreshEnabled = false
+	return cfg
+}
+
+func TestSharedBanksBasicAccess(t *testing.T) {
+	b := NewSharedBanks(noRefresh())
+	if got := b.Access(0, 10); got != 10 {
+		t.Errorf("first access at %d, want 10", got)
+	}
+	// Same bank, overlapping: pushed past the busy span.
+	if got := b.Access(0, 11); got != 18 {
+		t.Errorf("conflicting access at %d, want 18", got)
+	}
+	// Different bank: free.
+	if got := b.Access(8, 11); got != 11 {
+		t.Errorf("other bank at %d, want 11", got)
+	}
+}
+
+func TestSharedBanksGapReuse(t *testing.T) {
+	b := NewSharedBanks(noRefresh())
+	// Reserve [100,108) and [200,208); a later request at 110 fits the gap.
+	b.Access(0, 100)
+	b.Access(0, 200)
+	if got := b.Access(0, 110); got != 110 {
+		t.Errorf("gap access at %d, want 110 (gap reuse)", got)
+	}
+	// A request needing more room than the remaining gap goes after 208.
+	if got := b.Access(0, 195); got != 208 {
+		t.Errorf("tight access at %d, want 208", got)
+	}
+}
+
+func TestSharedBanksRefresh(t *testing.T) {
+	b := NewSharedBanks(DefaultConfig())
+	if got := b.Access(0, 402); got != 408 {
+		t.Errorf("access during refresh at %d, want 408", got)
+	}
+}
+
+func TestSharedBanksStreamUnitStride(t *testing.T) {
+	b := NewSharedBanks(noRefresh())
+	if stall := b.Stream(0, 0, 8, 128); stall != 0 {
+		t.Errorf("unit-stride stream stall = %d, want 0", stall)
+	}
+	// A second identical stream shifted by 1: rides one bank-cycle behind.
+	stall := b.Stream(1, 0, 8, 128)
+	if stall == 0 || stall > 16 {
+		t.Errorf("trailing stream stall = %d, want small positive", stall)
+	}
+}
+
+func TestSharedBanksDisjointStreamsNoStall(t *testing.T) {
+	b := NewSharedBanks(noRefresh())
+	// Streams at disjoint times never interfere regardless of walk order.
+	if stall := b.Stream(1000, 0, 8, 128); stall != 0 {
+		t.Errorf("first stream stall %d", stall)
+	}
+	if stall := b.Stream(0, 0, 8, 128); stall != 0 {
+		t.Errorf("earlier-time stream stall = %d, want 0 (gap reuse)", stall)
+	}
+}
+
+func TestSharedBanksSameBankStream(t *testing.T) {
+	b := NewSharedBanks(noRefresh())
+	// Stride 32 words: every element the same bank -> 7 stall cycles each
+	// after the first.
+	stall := b.Stream(0, 0, 256, 16)
+	want := int64(15 * 7)
+	if stall != want {
+		t.Errorf("same-bank stream stall = %d, want %d", stall, want)
+	}
+}
+
+// TestSharedBanksInvariants: spans stay sorted, non-overlapping, and
+// merged under random access sequences.
+func TestSharedBanksInvariants(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		b := NewSharedBanks(noRefresh())
+		for _, s := range seeds {
+			addr := int64(s%512) * 8
+			now := int64(s % 4096)
+			b.Access(addr, now)
+		}
+		for bank, spans := range b.banks {
+			for i := range spans {
+				if spans[i].e <= spans[i].s {
+					t.Logf("bank %d: empty span %v", bank, spans[i])
+					return false
+				}
+				if i > 0 && spans[i-1].e >= spans[i].s {
+					t.Logf("bank %d: overlap/unmerged %v %v", bank, spans[i-1], spans[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSharedBanksNeverDoubleBooks: every access gets a slot that was free
+// at reservation time; two consecutive same-bank accesses never start
+// within a bank cycle of each other.
+func TestSharedBanksNeverDoubleBooks(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		b := NewSharedBanks(noRefresh())
+		starts := make(map[int][]int64)
+		for _, s := range seeds {
+			addr := int64(s%64) * 8
+			bank := b.cfg.BankOf(addr)
+			at := b.Access(addr, int64(s%1024))
+			starts[bank] = append(starts[bank], at)
+		}
+		for _, ts := range starts {
+			seen := make(map[int64]bool)
+			for _, at := range ts {
+				for d := int64(0); d < int64(b.cfg.BankCycle); d++ {
+					if seen[at+d] {
+						return false
+					}
+				}
+				seen[at] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

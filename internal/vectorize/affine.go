@@ -1,0 +1,309 @@
+// Package vectorize analyzes and vectorizes the innermost loops of
+// Fortran-subset programs: affine index analysis (including secondary
+// induction variables), cross-iteration dependence testing with IVDEP
+// override, reduction recognition with partial-sum vectorization, scalar
+// expansion of loop temporaries, and the MA workload analysis (perfect
+// index analysis) that feeds the MA bound.
+package vectorize
+
+import (
+	"fmt"
+
+	"macs/internal/ftn"
+)
+
+// Affine describes an integer quantity of the form
+//
+//	value(t) = Base + Const + Stride*t
+//
+// where t is the 0-based iteration index of the inner loop, Base is a
+// loop-invariant expression evaluated by scalar code at loop entry (nil
+// when zero), and Const and Stride are compile-time constants. Units are
+// array elements.
+type Affine struct {
+	Base   ftn.Expr
+	Const  int64
+	Stride int64
+}
+
+// BaseKey renders the Base expression for structural comparison; streams
+// with equal BaseKey and Stride can share an address register.
+func (a Affine) BaseKey() string {
+	if a.Base == nil {
+		return ""
+	}
+	return a.Base.String()
+}
+
+// Invariant reports whether the quantity does not vary with the loop.
+func (a Affine) Invariant() bool { return a.Stride == 0 }
+
+func (a Affine) add(b Affine) Affine {
+	return Affine{Base: addExpr(a.Base, b.Base), Const: a.Const + b.Const, Stride: a.Stride + b.Stride}
+}
+
+func (a Affine) sub(b Affine) Affine {
+	return Affine{Base: subExpr(a.Base, b.Base), Const: a.Const - b.Const, Stride: a.Stride - b.Stride}
+}
+
+func (a Affine) scale(c int64) Affine {
+	return Affine{Base: mulExpr(a.Base, c), Const: a.Const * c, Stride: a.Stride * c}
+}
+
+func addExpr(x, y ftn.Expr) ftn.Expr {
+	if x == nil {
+		return y
+	}
+	if y == nil {
+		return x
+	}
+	return ftn.Bin{Op: '+', L: x, R: y}
+}
+
+func subExpr(x, y ftn.Expr) ftn.Expr {
+	if y == nil {
+		return x
+	}
+	if x == nil {
+		return ftn.Neg{X: y}
+	}
+	return ftn.Bin{Op: '-', L: x, R: y}
+}
+
+func mulExpr(x ftn.Expr, c int64) ftn.Expr {
+	if x == nil || c == 0 {
+		return nil
+	}
+	if c == 1 {
+		return x
+	}
+	return ftn.Bin{Op: '*', L: ftn.Num{Val: float64(c), IsInt: true}, R: x}
+}
+
+// scope carries the analysis context of one inner loop.
+type scope struct {
+	prog    *ftn.Program
+	loop    *ftn.DoStmt
+	step    int64 // constant loop step
+	secInds map[string]*SecInduction
+	// incsSoFar counts, during a body scan, how many increments of each
+	// secondary induction variable precede the current statement.
+	incsSoFar map[string]int64
+	// assigned tracks scalar temps assigned earlier in the body (scalar
+	// expansion) — they are not loop-invariant.
+	assigned map[string]bool
+	// realAssigned names every real scalar assigned anywhere in the body
+	// (other than reductions); a read before its assignment is a
+	// loop-carried recurrence and blocks vectorization.
+	realAssigned map[string]bool
+}
+
+// SecInduction is a variable updated exactly once per iteration as
+// V = V + Inc (LFK2's I, LFK4's LW).
+type SecInduction struct {
+	Var string
+	Inc int64
+}
+
+func newScope(prog *ftn.Program, loop *ftn.DoStmt) (*scope, error) {
+	sc := &scope{
+		prog:         prog,
+		loop:         loop,
+		secInds:      make(map[string]*SecInduction),
+		incsSoFar:    make(map[string]int64),
+		assigned:     make(map[string]bool),
+		realAssigned: make(map[string]bool),
+	}
+	sc.step = 1
+	if loop.Step != nil {
+		n, ok := loop.Step.(ftn.Num)
+		if !ok || !n.IsInt || int64(n.Val) == 0 {
+			return nil, fmt.Errorf("vectorize: loop step of %s must be a nonzero integer constant", loop.Var)
+		}
+		sc.step = int64(n.Val)
+	}
+	if sc.step < 0 {
+		return nil, fmt.Errorf("vectorize: negative loop steps are not supported")
+	}
+	// Find secondary induction variables: integer scalars assigned exactly
+	// once in the body, as V = V +/- constant.
+	counts := make(map[string]int)
+	for _, s := range loop.Body {
+		if a, ok := s.(*ftn.Assign); ok && len(a.LHS.Indices) == 0 {
+			counts[a.LHS.Name]++
+		}
+	}
+	for _, s := range loop.Body {
+		a, ok := s.(*ftn.Assign)
+		if !ok || len(a.LHS.Indices) != 0 {
+			continue
+		}
+		d, ok := sc.prog.Decl(a.LHS.Name)
+		if !ok || d.Kind != ftn.KindInt || counts[a.LHS.Name] != 1 {
+			continue
+		}
+		if inc, ok := incrementOf(a); ok {
+			sc.secInds[a.LHS.Name] = &SecInduction{Var: a.LHS.Name, Inc: inc}
+		}
+	}
+	for _, s := range loop.Body {
+		a, ok := s.(*ftn.Assign)
+		if !ok || len(a.LHS.Indices) != 0 {
+			continue
+		}
+		d, ok := sc.prog.Decl(a.LHS.Name)
+		if !ok {
+			continue
+		}
+		if d.Kind == ftn.KindReal && !isReductionForm(a) {
+			sc.realAssigned[a.LHS.Name] = true
+		}
+		if d.Kind == ftn.KindInt {
+			if _, isInd := sc.secInds[a.LHS.Name]; !isInd {
+				// An integer scalar assigned in the loop that is not an
+				// induction variable defeats affine analysis.
+				sc.assigned[a.LHS.Name] = true
+			}
+		}
+	}
+	return sc, nil
+}
+
+// incrementOf matches V = V + c and V = V - c.
+func incrementOf(a *ftn.Assign) (int64, bool) {
+	b, ok := a.RHS.(ftn.Bin)
+	if !ok || (b.Op != '+' && b.Op != '-') {
+		return 0, false
+	}
+	l, ok := b.L.(*ftn.Ref)
+	if !ok || l.Name != a.LHS.Name || len(l.Indices) != 0 {
+		return 0, false
+	}
+	n, ok := b.R.(ftn.Num)
+	if !ok || !n.IsInt {
+		return 0, false
+	}
+	inc := int64(n.Val)
+	if b.Op == '-' {
+		inc = -inc
+	}
+	return inc, true
+}
+
+// exprAffine analyzes an integer expression as affine in the loop index.
+func (sc *scope) exprAffine(e ftn.Expr) (Affine, error) {
+	switch x := e.(type) {
+	case ftn.Num:
+		if !x.IsInt {
+			return Affine{}, fmt.Errorf("vectorize: real value in index expression")
+		}
+		return Affine{Const: int64(x.Val)}, nil
+	case ftn.Neg:
+		a, err := sc.exprAffine(x.X)
+		if err != nil {
+			return Affine{}, err
+		}
+		return Affine{}.sub(a), nil
+	case *ftn.Ref:
+		if len(x.Indices) != 0 {
+			return Affine{}, fmt.Errorf("vectorize: array reference %s in index expression", x.Name)
+		}
+		if x.Name == sc.loop.Var {
+			// K = lo + step*t; a constant lo folds into Const so streams
+			// group cleanly.
+			if n, ok := sc.loop.Lo.(ftn.Num); ok && n.IsInt {
+				return Affine{Const: int64(n.Val), Stride: sc.step}, nil
+			}
+			return Affine{Base: sc.loop.Lo, Stride: sc.step}, nil
+		}
+		if si, ok := sc.secInds[x.Name]; ok {
+			// Value at this point of the body: V0 + Inc*t + Inc*(number of
+			// increments already executed this iteration).
+			return Affine{
+				Base:   &ftn.Ref{Name: x.Name},
+				Const:  si.Inc * sc.incsSoFar[x.Name],
+				Stride: si.Inc,
+			}, nil
+		}
+		if sc.assigned[x.Name] {
+			return Affine{}, fmt.Errorf("vectorize: %s varies in the loop and is not an induction variable", x.Name)
+		}
+		// Loop-invariant integer variable.
+		return Affine{Base: x}, nil
+	case ftn.Bin:
+		l, err := sc.exprAffine(x.L)
+		if err != nil {
+			return Affine{}, err
+		}
+		r, err := sc.exprAffine(x.R)
+		if err != nil {
+			return Affine{}, err
+		}
+		switch x.Op {
+		case '+':
+			return l.add(r), nil
+		case '-':
+			return l.sub(r), nil
+		case '*':
+			if r.Invariant() && r.Base == nil {
+				return l.scale(r.Const), nil
+			}
+			if l.Invariant() && l.Base == nil {
+				return r.scale(l.Const), nil
+			}
+			if l.Invariant() && r.Invariant() {
+				// Invariant product: keep symbolic.
+				return Affine{Base: ftn.Bin{Op: '*', L: affExpr(l), R: affExpr(r)}}, nil
+			}
+			return Affine{}, fmt.Errorf("vectorize: nonlinear index expression")
+		case '/':
+			if l.Invariant() && r.Invariant() {
+				return Affine{Base: ftn.Bin{Op: '/', L: affExpr(l), R: affExpr(r)}}, nil
+			}
+			return Affine{}, fmt.Errorf("vectorize: division by loop index")
+		}
+	}
+	return Affine{}, fmt.Errorf("vectorize: unsupported index expression %T", e)
+}
+
+// affExpr rebuilds an invariant Affine as a plain expression.
+func affExpr(a Affine) ftn.Expr {
+	e := a.Base
+	if a.Const != 0 || e == nil {
+		e = addExpr(e, ftn.Num{Val: float64(a.Const), IsInt: true})
+	}
+	return e
+}
+
+// Access is one array access with its linearized affine offset.
+type Access struct {
+	Array   string
+	Aff     Affine
+	IsWrite bool
+}
+
+// refAccess linearizes an array reference (column-major, 1-based) into an
+// element-offset Affine.
+func (sc *scope) refAccess(r *ftn.Ref, isWrite bool) (Access, error) {
+	d, ok := sc.prog.Decl(r.Name)
+	if !ok || !d.IsArray() {
+		return Access{}, fmt.Errorf("vectorize: %s is not an array", r.Name)
+	}
+	if len(r.Indices) != len(d.Dims) {
+		return Access{}, fmt.Errorf("vectorize: rank mismatch for %s", r.Name)
+	}
+	total := Affine{}
+	mult := int64(1)
+	var sumMult int64
+	for i, ix := range r.Indices {
+		a, err := sc.exprAffine(ix)
+		if err != nil {
+			return Access{}, err
+		}
+		total = total.add(a.scale(mult))
+		sumMult += mult
+		mult *= int64(d.Dims[i])
+	}
+	total.Const -= sumMult // the "-1" of each 1-based index
+	return Access{Array: r.Name, Aff: total, IsWrite: isWrite}, nil
+}

@@ -1,0 +1,142 @@
+package vectorize
+
+import (
+	"fmt"
+
+	"macs/internal/ftn"
+)
+
+// collectAccesses scans the loop body in statement order and returns every
+// array access with its affine offset, honoring secondary-induction
+// positions. Reduction-target reads are excluded (they are scalars to the
+// vectorizer). The scope's induction counters are reset afterwards.
+func collectAccesses(sc *scope) ([]Access, error) {
+	defer func() { sc.incsSoFar = make(map[string]int64) }()
+	var accs []Access
+	addRefs := func(e ftn.Expr) error {
+		var err error
+		walkRefs(e, func(r *ftn.Ref) {
+			if err != nil || len(r.Indices) == 0 {
+				return
+			}
+			a, e2 := sc.refAccess(r, false)
+			if e2 != nil {
+				err = e2
+				return
+			}
+			accs = append(accs, a)
+		})
+		return err
+	}
+	for _, s := range sc.loop.Body {
+		a, ok := s.(*ftn.Assign)
+		if !ok {
+			return nil, fmt.Errorf("vectorize: loop contains non-assignment statement %T", s)
+		}
+		if _, isInd := sc.secInds[a.LHS.Name]; isInd && len(a.LHS.Indices) == 0 {
+			sc.incsSoFar[a.LHS.Name]++
+			continue
+		}
+		var wAcc *Access
+		if len(a.LHS.Indices) > 0 {
+			w, err := sc.refAccess(a.LHS, true)
+			if err != nil {
+				return nil, err
+			}
+			wAcc = &w
+		}
+		// A reduction keeps its target in a register only when the target
+		// is a scalar or a loop-invariant element; Y(K) = Y(K) + ... is an
+		// ordinary load-modify-store stream.
+		reduction := isReductionForm(a) && (wAcc == nil || wAcc.Aff.Invariant())
+		rhs := a.RHS
+		if reduction {
+			rhs = a.RHS.(ftn.Bin).R
+		}
+		if err := addRefs(rhs); err != nil {
+			return nil, err
+		}
+		// Index expressions of the LHS itself.
+		for _, ix := range a.LHS.Indices {
+			if err := addRefs(ix); err != nil {
+				return nil, err
+			}
+		}
+		if wAcc != nil && !(reduction && wAcc.Aff.Invariant()) {
+			accs = append(accs, *wAcc)
+		}
+	}
+	return accs, nil
+}
+
+func walkRefs(e ftn.Expr, f func(*ftn.Ref)) {
+	switch x := e.(type) {
+	case *ftn.Ref:
+		f(x)
+		for _, ix := range x.Indices {
+			walkRefs(ix, f)
+		}
+	case ftn.Bin:
+		walkRefs(x.L, f)
+		walkRefs(x.R, f)
+	case ftn.Neg:
+		walkRefs(x.X, f)
+	}
+}
+
+// checkDependences rejects loops with possible cross-iteration
+// dependences unless the loop carries an IVDEP directive:
+//
+//   - a write and another access to the same array with different strides
+//     or different symbolic bases is unanalyzable;
+//   - with equal stride and base, an offset difference of zero is a safe
+//     loop-independent dependence, a difference not divisible by the
+//     stride proves independence, and a divisible difference is a
+//     cross-iteration dependence.
+func checkDependences(sc *scope) error {
+	if sc.loop.IVDep {
+		return nil
+	}
+	accs, err := collectAccesses(sc)
+	if err != nil {
+		return err
+	}
+	for i, w := range accs {
+		if !w.IsWrite {
+			continue
+		}
+		for j, a := range accs {
+			if i == j || a.Array != w.Array {
+				continue
+			}
+			if a.IsWrite && j < i {
+				continue // each write pair once
+			}
+			if err := pairDependence(w, a); err != nil {
+				return fmt.Errorf("%w (use CDIR$ IVDEP to assert independence)", err)
+			}
+		}
+	}
+	return nil
+}
+
+func pairDependence(w, a Access) error {
+	if w.Aff.Invariant() || a.Aff.Invariant() {
+		return fmt.Errorf("vectorize: %s is both indexed by the loop and accessed invariantly", w.Array)
+	}
+	if w.Aff.Stride != a.Aff.Stride || w.Aff.BaseKey() != a.Aff.BaseKey() {
+		return fmt.Errorf("vectorize: accesses to %s have unanalyzable overlap", w.Array)
+	}
+	d := a.Aff.Const - w.Aff.Const
+	if d == 0 {
+		return nil // same location every iteration: statement order holds
+	}
+	stride := w.Aff.Stride
+	if stride < 0 {
+		stride = -stride
+	}
+	if stride != 0 && d%stride != 0 {
+		return nil // distinct residues never collide
+	}
+	return fmt.Errorf("vectorize: cross-iteration dependence on %s (distance %d)", w.Array, d)
+}

@@ -1,0 +1,662 @@
+package vectorize
+
+import (
+	"strings"
+	"testing"
+
+	"macs/internal/core"
+	"macs/internal/ftn"
+)
+
+// innerLoop parses a program and returns it with its innermost DO.
+func innerLoop(t *testing.T, src string) (*ftn.Program, *ftn.DoStmt) {
+	t.Helper()
+	p, err := ftn.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inner *ftn.DoStmt
+	ftn.Walk(p.Body, func(s ftn.Stmt) {
+		if do, ok := s.(*ftn.DoStmt); ok {
+			inner = do // Walk recurses, last DO seen is innermost
+		}
+	})
+	if inner == nil {
+		t.Fatal("no DO loop found")
+	}
+	return p, inner
+}
+
+const lfk1Src = `
+PROGRAM LFK1
+REAL X(2001), Y(2001), ZX(2048)
+REAL Q, R, T
+INTEGER N, K
+DO K = 1, N
+  X(K) = Q + Y(K)*(R*ZX(K+10) + T*ZX(K+11))
+ENDDO
+END
+`
+
+func TestMAWorkloadLFK1(t *testing.T) {
+	p, do := innerLoop(t, lfk1Src)
+	w, err := MAWorkload(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Workload{FA: 2, FM: 3, Loads: 2, Stores: 1}
+	if w != want {
+		t.Errorf("MA workload = %+v, want %+v (paper Table 2)", w, want)
+	}
+}
+
+func TestVectorizeLFK1(t *testing.T) {
+	p, do := innerLoop(t, lfk1Src)
+	res, err := Vectorize(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads, stores, muls, adds int
+	for _, n := range res.Nodes {
+		switch n.Kind {
+		case NLoad:
+			loads++
+		case NStore:
+			stores++
+		case NBin:
+			switch n.Op {
+			case '*':
+				muls++
+			case '+':
+				adds++
+			}
+		}
+	}
+	// The compiler reloads the shifted ZX: 3 loads, 1 store (MAC counts).
+	if loads != 3 || stores != 1 {
+		t.Errorf("loads=%d stores=%d, want 3,1 (paper MAC for LFK1)", loads, stores)
+	}
+	if muls != 3 || adds != 2 {
+		t.Errorf("muls=%d adds=%d, want 3,2", muls, adds)
+	}
+	if len(res.Reductions) != 0 || len(res.SecInds) != 0 {
+		t.Errorf("unexpected reductions/inductions: %+v %+v", res.Reductions, res.SecInds)
+	}
+}
+
+const lfk2Src = `
+PROGRAM LFK2
+REAL X(2048), V(2048)
+INTEGER N, II, IPNT, IPNTP, I, K
+II = N
+IPNTP = 0
+100 CONTINUE
+IPNT = IPNTP
+IPNTP = IPNTP + II
+II = II / 2
+I = IPNTP + 1
+CDIR$ IVDEP
+DO K = IPNT + 2, IPNTP, 2
+  I = I + 1
+  X(I) = X(K) - V(K)*X(K-1) - V(K+1)*X(K+1)
+ENDDO
+IF (II .GT. 1) GOTO 100
+END
+`
+
+func TestMAWorkloadLFK2(t *testing.T) {
+	p, do := innerLoop(t, lfk2Src)
+	w, err := MAWorkload(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X(K-1) and X(K+1) share a stride-2 stream; X(K) is the other
+	// residue; V(K) and V(K+1) are two streams: 4 loads + 1 store.
+	want := core.Workload{FA: 2, FM: 2, Loads: 4, Stores: 1}
+	if w != want {
+		t.Errorf("MA workload = %+v, want %+v (t_m = 5, paper Table 3)", w, want)
+	}
+}
+
+func TestVectorizeLFK2(t *testing.T) {
+	p, do := innerLoop(t, lfk2Src)
+	res, err := Vectorize(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads, stores int
+	for _, n := range res.Nodes {
+		switch n.Kind {
+		case NLoad:
+			loads++
+		case NStore:
+			stores++
+		}
+	}
+	if loads != 5 || stores != 1 {
+		t.Errorf("loads=%d stores=%d, want 5,1 (paper MAC t_m' = 6)", loads, stores)
+	}
+	if len(res.SecInds) != 1 || res.SecInds[0].Var != "I" || res.SecInds[0].Inc != 1 {
+		t.Fatalf("secondary inductions = %+v, want I +1", res.SecInds)
+	}
+	if res.Step != 2 {
+		t.Errorf("step = %d, want 2", res.Step)
+	}
+	// The store through I has element stride 1; loads through K stride 2.
+	for _, n := range res.Nodes {
+		if n.Kind == NStore && n.Aff.Stride != 1 {
+			t.Errorf("store stride = %d, want 1 (secondary induction)", n.Aff.Stride)
+		}
+		if n.Kind == NLoad && n.Aff.Stride != 2 {
+			t.Errorf("load stride = %d, want 2", n.Aff.Stride)
+		}
+	}
+}
+
+func TestLFK2RequiresIVDep(t *testing.T) {
+	src := strings.Replace(lfk2Src, "CDIR$ IVDEP\n", "", 1)
+	p, do := innerLoop(t, src)
+	if _, err := Vectorize(p, do); err == nil {
+		t.Fatal("LFK2 without IVDEP should be rejected")
+	}
+}
+
+const lfk3Src = `
+PROGRAM LFK3
+REAL Z(2048), X(2048), Q
+INTEGER N, K
+DO K = 1, N
+  Q = Q + Z(K)*X(K)
+ENDDO
+END
+`
+
+func TestVectorizeLFK3Reduction(t *testing.T) {
+	p, do := innerLoop(t, lfk3Src)
+	w, err := MAWorkload(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != (core.Workload{FA: 1, FM: 1, Loads: 2, Stores: 0}) {
+		t.Errorf("MA workload = %+v", w)
+	}
+	res, err := Vectorize(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reductions) != 1 {
+		t.Fatalf("reductions = %d, want 1", len(res.Reductions))
+	}
+	r := res.Reductions[0]
+	if r.Op != '+' || r.Target.Name != "Q" {
+		t.Errorf("reduction = %+v", r)
+	}
+	if r.Expr.Kind != NBin || r.Expr.Op != '*' {
+		t.Errorf("reduction expr = %s", r.Expr)
+	}
+}
+
+const lfk6Src = `
+PROGRAM LFK6
+REAL W(1024), B(64,64)
+INTEGER N, I, K
+DO I = 2, N
+  W(I) = 0.0100
+CDIR$ IVDEP
+  DO K = 1, I-1
+    W(I) = W(I) + B(K,I)*W(I-K)
+  ENDDO
+ENDDO
+END
+`
+
+func TestVectorizeLFK6InvariantTargetReduction(t *testing.T) {
+	p, do := innerLoop(t, lfk6Src)
+	res, err := Vectorize(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reductions) != 1 {
+		t.Fatalf("reductions = %d, want 1", len(res.Reductions))
+	}
+	if res.Reductions[0].Target.String() != "W(I)" {
+		t.Errorf("reduction target = %s, want W(I)", res.Reductions[0].Target)
+	}
+	// W(I-K) has stride -1; B(K,I) stride 1.
+	var negStride, posStride bool
+	for _, n := range res.Nodes {
+		if n.Kind == NLoad && n.Array == "W" && n.Aff.Stride == -1 {
+			negStride = true
+		}
+		if n.Kind == NLoad && n.Array == "B" && n.Aff.Stride == 1 {
+			posStride = true
+		}
+	}
+	if !negStride || !posStride {
+		t.Errorf("expected W stride -1 and B stride 1 loads")
+	}
+}
+
+const lfk10Src = `
+PROGRAM LFK10
+REAL PX(25,101), CX(25,101)
+REAL T0, T1, T2
+INTEGER N, I
+DO I = 1, N
+  T0 = CX(5,I)
+  T1 = T0 - PX(5,I)
+  PX(5,I) = T0
+  T2 = T1 - PX(6,I)
+  PX(6,I) = T1
+  PX(7,I) = T2
+ENDDO
+END
+`
+
+func TestVectorizeScalarExpansion(t *testing.T) {
+	p, do := innerLoop(t, lfk10Src)
+	res, err := Vectorize(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads, stores, subs int
+	for _, n := range res.Nodes {
+		switch {
+		case n.Kind == NLoad:
+			loads++
+			if n.Aff.Stride != 25 {
+				t.Errorf("load stride = %d, want 25 (column-major PX(25,101))", n.Aff.Stride)
+			}
+		case n.Kind == NStore:
+			stores++
+		case n.Kind == NBin && n.Op == '-':
+			subs++
+		}
+	}
+	if loads != 3 || stores != 3 || subs != 2 {
+		t.Errorf("loads=%d stores=%d subs=%d, want 3,3,2", loads, stores, subs)
+	}
+}
+
+func TestStoreForwarding(t *testing.T) {
+	// LFK8 pattern: DU(KY) written then read; the read reuses the stored
+	// register, so only one load of U appears per distinct offset.
+	src := `
+PROGRAM P
+REAL DU(128), U(128), OUT(128)
+INTEGER N, KY
+CDIR$ IVDEP
+DO KY = 2, N
+  DU(KY) = U(KY+1) - U(KY-1)
+  OUT(KY) = 2.0*DU(KY)
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	res, err := Vectorize(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var duLoads int
+	for _, n := range res.Nodes {
+		if n.Kind == NLoad && n.Array == "DU" {
+			duLoads++
+		}
+	}
+	if duLoads != 0 {
+		t.Errorf("DU loads = %d, want 0 (store-to-load forwarding)", duLoads)
+	}
+	w, err := MAWorkload(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MA: U is one reused stream; DU forwarded; stores DU and OUT.
+	if w.Loads != 1 || w.Stores != 2 {
+		t.Errorf("MA loads=%d stores=%d, want 1,2", w.Loads, w.Stores)
+	}
+}
+
+func TestDependenceRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"cross-iteration", `
+PROGRAM P
+REAL A(100)
+INTEGER I, N
+DO I = 2, N
+  A(I) = A(I-1) + 1.0
+ENDDO
+END
+`},
+		{"recurrence temp", `
+PROGRAM P
+REAL A(100), T
+INTEGER I, N
+DO I = 1, N
+  A(I) = T + 1.0
+  T = A(I) * 2.0
+ENDDO
+END
+`},
+		{"different strides", `
+PROGRAM P
+REAL A(100)
+INTEGER I, N
+DO I = 1, N
+  A(2*I) = A(I) + 1.0
+ENDDO
+END
+`},
+		{"nonlinear index", `
+PROGRAM P
+REAL A(100)
+INTEGER I, N
+DO I = 1, N
+  A(I*I) = 1.0
+ENDDO
+END
+`},
+		{"non-assignment", `
+PROGRAM P
+REAL A(100)
+INTEGER I, N
+DO I = 1, N
+  IF (I .GT. 3) GOTO 10
+  A(I) = 1.0
+10 CONTINUE
+ENDDO
+END
+`},
+	}
+	for _, tc := range cases {
+		p, do := innerLoop(t, tc.src)
+		if _, err := Vectorize(p, do); err == nil {
+			t.Errorf("%s: vectorization should fail", tc.name)
+		}
+	}
+}
+
+func TestIVDepOverridesDependence(t *testing.T) {
+	src := `
+PROGRAM P
+REAL A(100)
+INTEGER I, N
+CDIR$ IVDEP
+DO I = 2, N
+  A(I) = A(I-1) + 1.0
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	if _, err := Vectorize(p, do); err != nil {
+		t.Errorf("IVDEP should force vectorization: %v", err)
+	}
+}
+
+func TestSameLocationDependenceAllowed(t *testing.T) {
+	// Read and write of the same element in one iteration is fine.
+	src := `
+PROGRAM P
+REAL A(100), B(100)
+INTEGER I, N
+DO I = 1, N
+  A(I) = A(I) + B(I)
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	if _, err := Vectorize(p, do); err != nil {
+		t.Errorf("same-location loop should vectorize: %v", err)
+	}
+}
+
+func TestDistinctResiduesAllowed(t *testing.T) {
+	// Write stride 25 at offset 0, reads at offsets 2..4: residues differ,
+	// provably independent (the LFK9 pattern).
+	src := `
+PROGRAM P
+REAL PX(25,101)
+INTEGER I, N
+DO I = 1, N
+  PX(1,I) = PX(3,I) + PX(4,I)
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	if _, err := Vectorize(p, do); err != nil {
+		t.Errorf("distinct residues should vectorize: %v", err)
+	}
+}
+
+func TestCSEDeduplicatesLoads(t *testing.T) {
+	src := `
+PROGRAM P
+REAL A(100), B(100)
+INTEGER I, N
+DO I = 1, N
+  B(I) = A(I)*A(I) + A(I)
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	res, err := Vectorize(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads int
+	for _, n := range res.Nodes {
+		if n.Kind == NLoad {
+			loads++
+		}
+	}
+	if loads != 1 {
+		t.Errorf("loads = %d, want 1 (CSE)", loads)
+	}
+}
+
+func TestAffineSecondaryInductionPosition(t *testing.T) {
+	// LFK4 pattern: LW increments after its use.
+	src := `
+PROGRAM P
+REAL X(2048), Y(2048), TEMP
+INTEGER N, J, LW
+DO J = 5, N, 5
+  TEMP = TEMP - X(LW)*Y(J)
+  LW = LW + 1
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	res, err := Vectorize(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reductions) != 1 || res.Reductions[0].Op != '-' {
+		t.Fatalf("reductions = %+v", res.Reductions)
+	}
+	var xLoad, yLoad *Node
+	for _, n := range res.Nodes {
+		if n.Kind == NLoad {
+			switch n.Array {
+			case "X":
+				xLoad = n
+			case "Y":
+				yLoad = n
+			}
+		}
+	}
+	if xLoad == nil || xLoad.Aff.Stride != 1 || xLoad.Aff.Const != -1 || xLoad.Aff.BaseKey() != "LW" {
+		t.Errorf("X(LW) affine = %+v", xLoad.Aff)
+	}
+	if yLoad == nil || yLoad.Aff.Stride != 5 || yLoad.Aff.Const != 4 {
+		t.Errorf("Y(J) affine = %+v", yLoad.Aff)
+	}
+}
+
+func TestMAWorkloadLFK7(t *testing.T) {
+	src := `
+PROGRAM LFK7
+REAL X(2048), Y(2048), Z(2048), U(2048), R, T, Q
+INTEGER N, K
+DO K = 1, N
+  X(K) = U(K) + R*(Z(K) + R*Y(K)) + T*(U(K+3) + R*(U(K+2) + R*U(K+1)) + T*(U(K+6) + Q*(U(K+5) + Q*U(K+4))))
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	w, err := MAWorkload(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: fa=8, fm=8; U's seven offsets are one reused stream, plus Y
+	// and Z: t_m = 3 loads + 1 store = 4 (Table 3).
+	want := core.Workload{FA: 8, FM: 8, Loads: 3, Stores: 1}
+	if w != want {
+		t.Errorf("MA workload = %+v, want %+v", w, want)
+	}
+	res, err := Vectorize(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac := countKinds(res)
+	// MAC: 9 loads (7 U + Y + Z) + 1 store = 10 (paper t_m' = 10).
+	if mac[NLoad] != 9 || mac[NStore] != 1 {
+		t.Errorf("MAC loads=%d stores=%d, want 9,1", mac[NLoad], mac[NStore])
+	}
+}
+
+func countKinds(res *Result) map[NodeKind]int {
+	m := make(map[NodeKind]int)
+	for _, n := range res.Nodes {
+		m[n.Kind]++
+	}
+	return m
+}
+
+func TestAffineInvariantProduct(t *testing.T) {
+	// LFK8 pattern: (NL1-1)*505 style invariant products stay symbolic.
+	src := `
+PROGRAM P
+REAL U(5,101,2), OUT(101)
+INTEGER N, KY, NL
+CDIR$ IVDEP
+DO KY = 2, N
+  OUT(KY) = U(2,KY,NL)
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	res, err := Vectorize(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var load *Node
+	for _, n := range res.Nodes {
+		if n.Kind == NLoad && n.Array == "U" {
+			load = n
+		}
+	}
+	if load == nil {
+		t.Fatal("no U load")
+	}
+	if load.Aff.Stride != 5 {
+		t.Errorf("U stride = %d, want 5", load.Aff.Stride)
+	}
+	if load.Aff.BaseKey() == "" {
+		t.Error("invariant NL term should appear in the base expression")
+	}
+}
+
+func TestNegativeLoopStepRejected(t *testing.T) {
+	src := `
+PROGRAM P
+REAL A(100), B(100)
+INTEGER I, N
+DO I = 100, 1, -1
+  B(I) = A(I)
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	if _, err := Vectorize(p, do); err == nil {
+		t.Error("negative step should be rejected")
+	}
+}
+
+func TestNonConstantStepRejected(t *testing.T) {
+	src := `
+PROGRAM P
+REAL A(100), B(100)
+INTEGER I, N, S
+DO I = 1, N, S
+  B(I) = A(I)
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	if _, err := Vectorize(p, do); err == nil {
+		t.Error("symbolic step should be rejected")
+	}
+}
+
+func TestIndexDivisionRejected(t *testing.T) {
+	src := `
+PROGRAM P
+REAL A(100), B(100)
+INTEGER I, N
+DO I = 1, N
+  B(I) = A(I/2)
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	if _, err := Vectorize(p, do); err == nil {
+		t.Error("I/2 index should be rejected (non-affine)")
+	}
+}
+
+func TestMAWorkloadDistinctResidues(t *testing.T) {
+	// Stride 2 with offsets of both parities: two streams per array.
+	src := `
+PROGRAM P
+REAL A(2048), B(2048)
+INTEGER K, N
+CDIR$ IVDEP
+DO K = 2, N, 2
+  B(K) = A(K) + A(K+1)
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	w, err := MAWorkload(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Loads != 2 {
+		t.Errorf("loads = %d, want 2 (distinct parities)", w.Loads)
+	}
+}
+
+func TestMAWorkloadSharedResidue(t *testing.T) {
+	// Stride 2 with offsets of the same parity: one reused stream.
+	src := `
+PROGRAM P
+REAL A(2048), B(2048)
+INTEGER K, N
+CDIR$ IVDEP
+DO K = 2, N, 2
+  B(K) = A(K) + A(K+2)
+ENDDO
+END
+`
+	p, do := innerLoop(t, src)
+	w, err := MAWorkload(p, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Loads != 1 {
+		t.Errorf("loads = %d, want 1 (same residue class)", w.Loads)
+	}
+}

@@ -1,0 +1,179 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"macs/internal/asm"
+	"macs/internal/core"
+)
+
+// randomLoop builds a random-but-valid vectorized loop body: a mix of
+// loads, stores and FP operations over the eight vector registers, with
+// data produced before it is consumed.
+func randomLoop(r *rand.Rand, nInstr int) string {
+	var b strings.Builder
+	b.WriteString(".data arr 524288\n")
+	b.WriteString("\tmov #8,vs\n\tmov #128,s1\n\tmov s1,vl\n\tmov #12,s0\nL1:\n")
+	off := 0
+	written := [8]bool{}
+	for i := 0; i < nInstr; i++ {
+		switch r.Intn(5) {
+		case 0, 1: // load
+			d := r.Intn(8)
+			fmt.Fprintf(&b, "\tld.l arr+%d(a0),v%d\n", off, d)
+			written[d] = true
+			off += 2048
+		case 2: // store something defined
+			s := r.Intn(8)
+			if !written[s] {
+				fmt.Fprintf(&b, "\tld.l arr+%d(a0),v%d\n", off, s)
+				written[s] = true
+				off += 2048
+			}
+			fmt.Fprintf(&b, "\tst.l v%d,arr+%d(a0)\n", s, off)
+			off += 2048
+		case 3: // add-pipe op
+			x, y, d := r.Intn(8), r.Intn(8), r.Intn(8)
+			op := []string{"add", "sub", "neg"}[r.Intn(3)]
+			if op == "neg" {
+				fmt.Fprintf(&b, "\tneg.d v%d,v%d\n", x, d)
+			} else {
+				fmt.Fprintf(&b, "\t%s.d v%d,v%d,v%d\n", op, x, y, d)
+			}
+			written[d] = true
+		case 4: // multiply-pipe op
+			x, y, d := r.Intn(8), r.Intn(8), r.Intn(8)
+			fmt.Fprintf(&b, "\tmul.d v%d,v%d,v%d\n", x, y, d)
+			written[d] = true
+		}
+	}
+	b.WriteString("\tsub.w #1,s0\n\tlt.w #0,s0\n\tjbrs.t L1\n")
+	return b.String()
+}
+
+// TestSimulatorNeverBeatsMACSBound is the adversarial property at the
+// heart of the reproduction: for random programs, steady-state measured
+// cycles per iteration can never fall below the MACS bound, because the
+// simulator's chime dispatch honors at least the constraints the bound
+// charges.
+func TestSimulatorNeverBeatsMACSBound(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(12)
+		src := randomLoop(r, n)
+		p, err := asm.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		loop, ok := asm.InnerVectorLoop(p)
+		if !ok {
+			continue
+		}
+		bound := core.MACSBound(loop.Body, 128, core.DefaultRules())
+
+		cfg := DefaultConfig()
+		cfg.RefreshStalls = false
+		rules := cfg.Rules
+		rules.Refresh = false
+		boundNoRefresh := core.MACSBound(loop.Body, 128, rules)
+
+		cpu := New(cfg)
+		if err := cpu.Load(p); err != nil {
+			t.Fatal(err)
+		}
+		st, err := cpu.Run()
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		perIter := float64(st.Cycles) / 12
+		if perIter+1 < boundNoRefresh.Cycles {
+			t.Errorf("trial %d: measured %.1f cycles/iter below MACS bound %.1f\n%s",
+				trial, perIter, boundNoRefresh.Cycles, src)
+		}
+		_ = bound
+	}
+}
+
+// TestRandomProgramsChimeAccounting: the simulator's chime count per
+// iteration equals the partitioner's chime count (they share the rules).
+func TestRandomProgramsChimeAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		src := randomLoop(r, 2+r.Intn(10))
+		p, err := asm.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loop, _ := asm.InnerVectorLoop(p)
+		want := len(core.Partition(loop.Body, core.DefaultRules()))
+		cpu := New(DefaultConfig())
+		if err := cpu.Load(p); err != nil {
+			t.Fatal(err)
+		}
+		st, err := cpu.Run()
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		// 12 iterations; wrap-around may merge or split at most one chime
+		// per boundary relative to the static partition.
+		lo, hi := int64((want-1)*12), int64((want+1)*12)
+		if st.Chimes < lo || st.Chimes > hi {
+			t.Errorf("trial %d: %d chimes executed, partitioner says %d/iter\n%s",
+				trial, st.Chimes, want, src)
+		}
+	}
+}
+
+// TestRandomProgramsAblationOrdering: disabling chaining can never make a
+// random program faster.
+func TestRandomProgramsAblationOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		src := randomLoop(r, 3+r.Intn(8))
+		run := func(chain bool) int64 {
+			p := asm.MustParse(src)
+			cfg := DefaultConfig()
+			cfg.Rules.Chaining = chain
+			cpu := New(cfg)
+			if err := cpu.Load(p); err != nil {
+				t.Fatal(err)
+			}
+			st, err := cpu.Run()
+			if err != nil {
+				t.Fatalf("%v\n%s", err, src)
+			}
+			return st.Cycles
+		}
+		with, without := run(true), run(false)
+		if without < with {
+			t.Errorf("trial %d: no-chaining faster (%d < %d)\n%s", trial, without, with, src)
+		}
+	}
+}
+
+// TestRandomProgramsDeterminism: identical runs produce identical cycle
+// counts and results.
+func TestRandomProgramsDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	src := randomLoop(r, 10)
+	run := func() (int64, float64) {
+		p := asm.MustParse(src)
+		cpu := New(DefaultConfig())
+		if err := cpu.Load(p); err != nil {
+			t.Fatal(err)
+		}
+		st, err := cpu.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles, cpu.VElem(3, 17)
+	}
+	c1, v1 := run()
+	c2, v2 := run()
+	if c1 != c2 || v1 != v2 {
+		t.Errorf("nondeterministic: %d/%v vs %d/%v", c1, v1, c2, v2)
+	}
+}

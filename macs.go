@@ -1,0 +1,231 @@
+// Package macs is the public API of this reproduction of "Hierarchical
+// Performance Modeling with MACS: A Case Study of the Convex C-240"
+// (Boyd & Davidson, ISCA 1993).
+//
+// The package ties together the full pipeline the paper describes:
+//
+//   - compile a Fortran-subset kernel with the vectorizing compiler that
+//     stands in for the Convex fc compiler;
+//   - compute the MA, MAC and MACS performance bounds for its inner loop
+//     (the paper's primary contribution, in internal/core);
+//   - execute the compiled code on the cycle-level Convex C-240 simulator
+//     and measure actual performance t_p;
+//   - generate and run the A-process and X-process codes (t_a, t_x);
+//   - regenerate every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	res, err := macs.AnalyzeSource(src)   // bounds + measurement
+//	fmt.Println(res.Report())
+//
+// The subsystems are exposed through type aliases so the whole machinery
+// remains one import for downstream users; power users can reach the
+// internal packages directly from within this module.
+package macs
+
+import (
+	"fmt"
+	"strings"
+
+	"macs/internal/advisor"
+	"macs/internal/asm"
+	"macs/internal/ax"
+	"macs/internal/compiler"
+	"macs/internal/core"
+	"macs/internal/experiments"
+	"macs/internal/ftn"
+	"macs/internal/lfk"
+	"macs/internal/vectorize"
+	"macs/internal/vm"
+)
+
+// Re-exported types. These aliases are the supported public surface.
+type (
+	// Workload holds MACS operation counts (f_a, f_m, loads, stores).
+	Workload = core.Workload
+	// Analysis is the complete MA/MAC/MACS bounds hierarchy.
+	Analysis = core.Analysis
+	// Rules configures chime formation (chaining, pair rule, bubbles...).
+	Rules = core.Rules
+	// Chime is one group of concurrently executing vector instructions.
+	Chime = core.Chime
+	// Program is an assembled Convex-style program.
+	Program = asm.Program
+	// Stats aggregates a simulation run.
+	Stats = vm.Stats
+	// CPU is one simulated Convex C-240 processor.
+	CPU = vm.CPU
+	// VMConfig configures the simulator.
+	VMConfig = vm.Config
+	// CompilerOptions configures the vectorizing compiler.
+	CompilerOptions = compiler.Options
+	// Kernel is one Livermore kernel of the case study.
+	Kernel = lfk.Kernel
+	// KernelResult bundles bounds, measurement and validation status.
+	KernelResult = experiments.KernelResult
+	// AXMeasurement holds t_p, t_a and t_x cycle counts.
+	AXMeasurement = ax.Measurement
+	// ExperimentConfig configures table/figure regeneration.
+	ExperimentConfig = experiments.Config
+)
+
+// Defaults for the C-240 configuration.
+func DefaultRules() Rules                       { return core.DefaultRules() }
+func DefaultVMConfig() VMConfig                 { return vm.DefaultConfig() }
+func DefaultCompilerOptions() CompilerOptions   { return compiler.DefaultOptions() }
+func DefaultExperimentConfig() ExperimentConfig { return experiments.Default() }
+
+// NewCPU creates a simulator instance.
+func NewCPU(cfg VMConfig) *CPU { return vm.New(cfg) }
+
+// Compile compiles Fortran-subset source to Convex-style assembly.
+func Compile(src string, opts CompilerOptions) (*Program, error) {
+	return compiler.Compile(src, opts)
+}
+
+// ParseAsm parses assembly text into a Program.
+func ParseAsm(src string) (*Program, error) { return asm.Parse(src) }
+
+// Kernels returns the ten LFK kernels of the paper's case study.
+func Kernels() []*Kernel { return lfk.All() }
+
+// KernelByID returns one case-study kernel (1,2,3,4,6,7,8,9,10,12).
+func KernelByID(id int) (*Kernel, error) { return lfk.ByID(id) }
+
+// RunKernel compiles, bounds, measures and validates one kernel.
+func RunKernel(k *Kernel, cfg ExperimentConfig) (KernelResult, error) {
+	return experiments.RunKernel(k, cfg)
+}
+
+// MABound computes the MA workload of a source's inner loop (perfect
+// index analysis on the high-level code).
+func MABound(src string) (Workload, error) { return compiler.MAWorkload(src) }
+
+// MACSBoundOf computes t_MACS (CPL) for a compiled program's inner
+// vectorized loop at the given vector length.
+func MACSBoundOf(p *Program, vl int, rules Rules) (float64, error) {
+	loop, ok := asm.InnerVectorLoop(p)
+	if !ok {
+		return 0, fmt.Errorf("macs: program has no vectorized inner loop")
+	}
+	return core.MACSBound(loop.Body, vl, rules).CPL, nil
+}
+
+// Result is the outcome of AnalyzeSource: the full hierarchy plus the
+// measured run.
+type Result struct {
+	Analysis Analysis
+	Stats    Stats
+	Program  *Program
+	// MeasuredCPL is cycles per inner-loop iteration; Iterations is the
+	// iteration count used for the conversion.
+	MeasuredCPL float64
+	Iterations  int64
+}
+
+// AnalyzeSource runs the full MACS pipeline on a kernel source: compile,
+// bound, simulate. iterations tells the conversion to CPL how many
+// inner-loop iterations the program executes; prime (optional) sets
+// memory inputs before the run.
+func AnalyzeSource(src string, iterations int64, prime func(*CPU) error) (Result, error) {
+	var res Result
+	prog, err := compiler.Compile(src, compiler.DefaultOptions())
+	if err != nil {
+		return res, err
+	}
+	res.Program = prog
+	parsed, err := ftn.Parse(src)
+	if err != nil {
+		return res, err
+	}
+	loopStmt, ok := compiler.InnerLoop(parsed)
+	if !ok {
+		return res, fmt.Errorf("macs: source has no DO loop")
+	}
+	ma, err := vectorize.MAWorkload(parsed, loopStmt)
+	if err != nil {
+		return res, err
+	}
+	loop, ok := asm.InnerVectorLoop(prog)
+	if !ok {
+		return res, fmt.Errorf("macs: compiled code has no vectorized inner loop")
+	}
+	res.Analysis = core.Analyze(ma, loop.Body, vm.DefaultConfig().VLMax, core.DefaultRules())
+	cpu := vm.New(vm.DefaultConfig())
+	if err := cpu.Load(prog); err != nil {
+		return res, err
+	}
+	if prime != nil {
+		if err := prime(cpu); err != nil {
+			return res, err
+		}
+	}
+	res.Stats, err = cpu.Run()
+	if err != nil {
+		return res, err
+	}
+	res.Iterations = iterations
+	if iterations > 0 {
+		res.MeasuredCPL = float64(res.Stats.Cycles) / float64(iterations)
+	}
+	return res, nil
+}
+
+// Report renders the hierarchy of one Result as text.
+func (r Result) Report() string {
+	var b strings.Builder
+	a := r.Analysis
+	fmt.Fprintf(&b, "MA workload:  %s  -> t_MA  = %.3f CPL\n", a.MA, a.TMA)
+	fmt.Fprintf(&b, "MAC workload: %s  -> t_MAC = %.3f CPL\n", a.MAC, a.TMAC)
+	fmt.Fprintf(&b, "t_MACS = %.3f CPL over %d chimes (t_MACS^f %.3f, t_MACS^m %.3f)\n",
+		a.MACS.CPL, len(a.MACS.Chimes), a.MACSF.CPL, a.MACSM.CPL)
+	if r.MeasuredCPL > 0 {
+		fmt.Fprintf(&b, "measured t_p = %.3f CPL (%d cycles, %d iterations)\n",
+			r.MeasuredCPL, r.Stats.Cycles, r.Iterations)
+	}
+	return b.String()
+}
+
+// MeasureAX generates and runs the A-process and X-process codes of a
+// compiled program (paper §3.6).
+func MeasureAX(p *Program, cfg VMConfig, prime func(*CPU) error) (AXMeasurement, error) {
+	return ax.Measure(p, cfg, prime)
+}
+
+// Extension types: the decomposition-aware bound (the paper's proposed
+// "D" degree of freedom), the short-vector extended bound, and the §4.4
+// diagnosis engine.
+type (
+	// LoopShape describes how a kernel drives its inner loop (total
+	// elements, entry count, outer scalar estimate).
+	LoopShape = core.LoopShape
+	// Diagnosis is a ranked list of diagnosed performance losses.
+	Diagnosis = advisor.Diagnosis
+	// DiagnosisInputs feeds Diagnose.
+	DiagnosisInputs = advisor.Inputs
+)
+
+// MACSDBoundOf computes the decomposition-aware bound t_MACSD (CPL) of a
+// program's inner loop: like t_MACS but with each memory stream's rate
+// limited by its bank decomposition.
+func MACSDBoundOf(p *Program, vl int, rules Rules) (float64, error) {
+	loop, ok := asm.InnerVectorLoop(p)
+	if !ok {
+		return 0, fmt.Errorf("macs: program has no vectorized inner loop")
+	}
+	return core.MACSDBound(loop.Body, vl, rules).CPL, nil
+}
+
+// ExtendedBoundOf computes the short-vector-aware bound t_MACS+ (CPL) of
+// a program's inner loop under the given loop shape.
+func ExtendedBoundOf(p *Program, shape LoopShape, rules Rules) (float64, error) {
+	loop, ok := asm.InnerVectorLoop(p)
+	if !ok {
+		return 0, fmt.Errorf("macs: program has no vectorized inner loop")
+	}
+	return core.ExtendedBound(loop.Body, shape, rules).CPL, nil
+}
+
+// Diagnose applies the paper's §4.4 gap-analysis rules to a kernel's
+// bounds and measurements.
+func Diagnose(in DiagnosisInputs) Diagnosis { return advisor.Diagnose(in) }
