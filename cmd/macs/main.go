@@ -37,19 +37,19 @@ func main() {
 	var err error
 	switch cmd {
 	case "compile":
-		err = cmdCompile(args)
+		err = cmdCompile(os.Stdout, args)
 	case "bound":
-		err = cmdBound(args)
+		err = cmdBound(os.Stdout, args)
 	case "sim":
-		err = cmdSim(args)
+		err = cmdSim(os.Stdout, args)
 	case "ax":
-		err = cmdAX(args)
+		err = cmdAX(os.Stdout, args)
 	case "calib":
-		err = cmdCalib()
+		err = cmdCalib(os.Stdout)
 	case "sweep":
-		err = cmdSweep()
+		err = cmdSweep(os.Stdout)
 	case "lfk":
-		err = cmdLFK(args)
+		err = cmdLFK(os.Stdout, args)
 	default:
 		usage()
 	}
@@ -76,7 +76,7 @@ func readSource(args []string) (string, error) {
 	return string(b), err
 }
 
-func cmdCompile(args []string) error {
+func cmdCompile(w io.Writer, args []string) error {
 	src, err := readSource(args)
 	if err != nil {
 		return err
@@ -85,11 +85,11 @@ func cmdCompile(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(p.String())
+	fmt.Fprint(w, p.String())
 	return nil
 }
 
-func cmdBound(args []string) error {
+func cmdBound(w io.Writer, args []string) error {
 	src, err := readSource(args)
 	if err != nil {
 		return err
@@ -98,11 +98,11 @@ func cmdBound(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Report())
+	fmt.Fprint(w, res.Report())
 	return nil
 }
 
-func cmdSim(args []string) error {
+func cmdSim(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
 	n := fs.Int64("n", 0, "inner-loop iterations for CPL conversion")
 	var file string
@@ -120,13 +120,13 @@ func cmdSim(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Report())
-	fmt.Printf("stats: %d instrs (%d vector), %d chimes, %d memory stall cycles\n",
+	fmt.Fprint(w, res.Report())
+	fmt.Fprintf(w, "stats: %d instrs (%d vector), %d chimes, %d memory stall cycles\n",
 		res.Stats.Instrs, res.Stats.VectorInstrs, res.Stats.Chimes, res.Stats.MemStalls)
 	return nil
 }
 
-func cmdAX(args []string) error {
+func cmdAX(w io.Writer, args []string) error {
 	src, err := readSource(args)
 	if err != nil {
 		return err
@@ -135,51 +135,51 @@ func cmdAX(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("; ===== A-process (vector FP deleted) =====")
-	fmt.Print(ax.AProcess(p).String())
-	fmt.Println("; ===== X-process (vector memory deleted) =====")
-	fmt.Print(ax.XProcess(p).String())
+	fmt.Fprintln(w, "; ===== A-process (vector FP deleted) =====")
+	fmt.Fprint(w, ax.AProcess(p).String())
+	fmt.Fprintln(w, "; ===== X-process (vector memory deleted) =====")
+	fmt.Fprint(w, ax.XProcess(p).String())
 	return nil
 }
 
-func cmdCalib() error {
+func cmdCalib(w io.Writer) error {
 	res, err := calib.CalibrateAll(vm.DefaultConfig())
 	if err != nil {
 		return err
 	}
-	fmt.Println(report.Table1(res))
+	fmt.Fprintln(w, report.Table1(res))
 	return nil
 }
 
 // cmdSweep prints the VL sweep and half-performance lengths of every
 // Table 1 instruction type.
-func cmdSweep() error {
+func cmdSweep(w io.Writer) error {
 	vls := []int{4, 8, 16, 32, 64, 128}
-	fmt.Printf("%-6s", "instr")
+	fmt.Fprintf(w, "%-6s", "instr")
 	for _, vl := range vls {
-		fmt.Printf("  VL=%-5d", vl)
+		fmt.Fprintf(w, "  VL=%-5d", vl)
 	}
-	fmt.Printf("  n1/2(cold)  n1/2(steady)\n")
+	fmt.Fprintf(w, "  n1/2(cold)  n1/2(steady)\n")
 	for _, op := range calib.Table1Ops() {
 		pts, err := calib.VLSweep(op, vls, vm.DefaultConfig())
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-6s", op)
+		fmt.Fprintf(w, "%-6s", op)
 		for _, p := range pts {
-			fmt.Printf("  %-8.2f", p.CyclesPerElem)
+			fmt.Fprintf(w, "  %-8.2f", p.CyclesPerElem)
 		}
 		cold, steady, err := calib.HalfPerformanceLength(op)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %-10.1f  %.1f\n", cold, steady)
+		fmt.Fprintf(w, "  %-10.1f  %.1f\n", cold, steady)
 	}
-	fmt.Println("\ncycles per element in steady state; n1/2 is Hockney's half-performance length")
+	fmt.Fprintln(w, "\ncycles per element in steady state; n1/2 is Hockney's half-performance length")
 	return nil
 }
 
-func cmdLFK(args []string) error {
+func cmdLFK(w io.Writer, args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("missing kernel id")
 	}
@@ -196,14 +196,14 @@ func cmdLFK(args []string) error {
 		return err
 	}
 	tma, tmac, tmacs, tp := r.CPLs()
-	fmt.Printf("LFK%d (%s), n=%d, %d flops/iteration\n", k.ID, k.Name, k.N, k.FlopsPerIteration())
-	fmt.Printf("  t_MA   = %7.3f CPL\n", tma)
-	fmt.Printf("  t_MAC  = %7.3f CPL\n", tmac)
-	fmt.Printf("  t_MACS = %7.3f CPL\n", tmacs)
-	fmt.Printf("  t_p    = %7.3f CPL (measured, output validated: %v)\n", tp, r.Validated)
-	fmt.Printf("  t_a    = %7.3f CPL, t_x = %7.3f CPL (A/X measurements)\n",
+	fmt.Fprintf(w, "LFK%d (%s), n=%d, %d flops/iteration\n", k.ID, k.Name, k.N, k.FlopsPerIteration())
+	fmt.Fprintf(w, "  t_MA   = %7.3f CPL\n", tma)
+	fmt.Fprintf(w, "  t_MAC  = %7.3f CPL\n", tmac)
+	fmt.Fprintf(w, "  t_MACS = %7.3f CPL\n", tmacs)
+	fmt.Fprintf(w, "  t_p    = %7.3f CPL (measured, output validated: %v)\n", tp, r.Validated)
+	fmt.Fprintf(w, "  t_a    = %7.3f CPL, t_x = %7.3f CPL (A/X measurements)\n",
 		k.CPL(r.AX.TA), k.CPL(r.AX.TX))
-	fmt.Printf("  paper (CPF): t_MA %.3f, t_MAC %.3f, t_MACS %.3f, t_p %.3f\n",
+	fmt.Fprintf(w, "  paper (CPF): t_MA %.3f, t_MAC %.3f, t_MACS %.3f, t_p %.3f\n",
 		k.Paper.TMA, k.Paper.TMAC, k.Paper.TMACS, k.Paper.TP)
 
 	// Extended bound (short vectors, startup, reductions, outer scalars).
@@ -213,10 +213,10 @@ func cmdLFK(args []string) error {
 	}
 	shape := macs.LoopShape{Elements: k.Elements, Entries: k.Entries, OuterScalarOps: 30}
 	if ext, err := macs.ExtendedBoundOf(prog, shape, macs.DefaultRules()); err == nil {
-		fmt.Printf("  t_MACS+ = %7.3f CPL (extended: strips, startup, reductions, scalar)\n", ext)
+		fmt.Fprintf(w, "  t_MACS+ = %7.3f CPL (extended: strips, startup, reductions, scalar)\n", ext)
 	}
 	if d, err := macs.MACSDBoundOf(prog, 128, macs.DefaultRules()); err == nil {
-		fmt.Printf("  t_MACSD = %7.3f CPL (decomposition-aware)\n", d)
+		fmt.Fprintf(w, "  t_MACSD = %7.3f CPL (decomposition-aware)\n", d)
 	}
 
 	// Diagnosis per the paper's section 4.4.
@@ -226,6 +226,6 @@ func cmdLFK(args []string) error {
 		TA:       k.CPL(r.AX.TA),
 		TX:       k.CPL(r.AX.TX),
 	})
-	fmt.Printf("\ndiagnosis:\n%s", diag)
+	fmt.Fprintf(w, "\ndiagnosis:\n%s", diag)
 	return nil
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const saxpySrc = `
+PROGRAM SAXPY
+REAL X(2048), Y(2048), A
+INTEGER N, K
+DO K = 1, N
+  Y(K) = Y(K) + A*X(K)
+ENDDO
+END
+`
+
+func writeKernel(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "saxpy.f")
+	if err := os.WriteFile(path, []byte(saxpySrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdCompile(t *testing.T) {
+	var out strings.Builder
+	if err := cmdCompile(&out, []string{writeKernel(t)}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		".data d_X", // data segment for the arrays
+		".data d_Y",
+		"mul.d", // the A*X multiply, vectorized
+		"add.d",
+		"mov s0,vl", // strip-mined vector length setup
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compile output missing %q\n%s", want, got)
+		}
+	}
+}
+
+func TestCmdBound(t *testing.T) {
+	var out strings.Builder
+	if err := cmdBound(&out, []string{writeKernel(t)}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"MA workload:",
+		"MAC workload:",
+		"t_MACS",
+		"fa=1 fm=1 l=2 s=1", // SAXPY: one add, one multiply, two loads, one store
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("bound output missing %q\n%s", want, got)
+		}
+	}
+}
+
+func TestCmdCompileMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := cmdCompile(&out, nil); err == nil {
+		t.Fatal("cmdCompile with no args succeeded; want error")
+	}
+	if err := cmdCompile(&out, []string{"/nonexistent/kernel.f"}); err == nil {
+		t.Fatal("cmdCompile with missing file succeeded; want error")
+	}
+}

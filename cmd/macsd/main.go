@@ -1,0 +1,94 @@
+// Command macsd is the MACS analysis daemon: a long-lived HTTP/JSON
+// server over the compile → bound → simulate → A/X → diagnose pipeline,
+// with a bounded worker pool, a content-addressed result cache with
+// singleflight deduplication, and JSON metrics.
+//
+// Usage:
+//
+//	macsd [-addr :8723] [-workers N] [-queue N] [-cache N]
+//	      [-timeout 30s] [-drain 30s] [-log text|json]
+//
+// Endpoints:
+//
+//	POST /v1/analyze   {"source": "...", "iterations": N, "prime": {...}}
+//	POST /v1/bound     {"source": "..."}
+//	POST /v1/ax        {"source": "...", "prime": {...}}
+//	GET  /v1/lfk/{id}  one case-study kernel (1,2,3,4,6,7,8,9,10,12)
+//	GET  /healthz      liveness
+//	GET  /metrics      counters, cache/queue stats, latency histograms
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight and queued jobs, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"macs/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent pipeline executions")
+	queue := flag.Int("queue", 2*runtime.NumCPU(), "pending-job queue depth (beyond it: 429)")
+	cacheSize := flag.Int("cache", 512, "result cache capacity, entries")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout, queue wait included")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	flag.Parse()
+
+	var handler slog.Handler
+	if *logFormat == "json" {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueSize:      *queue,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+		Logger:         log,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Info("macsd listening", "addr", *addr, "workers", *workers, "queue", *queue, "cache", *cacheSize)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "macsd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Info("shutdown: draining", "budget", *drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Warn("shutdown: server", "err", err)
+		}
+		svc.Close() // wait for queued + in-flight jobs
+		log.Info("shutdown: complete")
+	}
+}

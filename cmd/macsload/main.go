@@ -1,0 +1,169 @@
+// Command macsload is a load generator for macsd. It drives the
+// /v1/analyze endpoint with the case-study Livermore kernels (real
+// sources, real priming data), first one cold pass over the distinct
+// kernels, then a hot phase of repeated requests, and reports req/s,
+// latency and the server's cache statistics — a direct measurement of
+// how much the content-addressed cache buys.
+//
+// Usage:
+//
+//	macsload [-addr http://localhost:8723] [-n 200] [-c 8] [-kernels 4]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"macs"
+	"macs/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8723", "macsd base URL")
+	n := flag.Int("n", 200, "hot-phase request count")
+	c := flag.Int("c", 8, "concurrent clients")
+	nk := flag.Int("kernels", 4, "distinct kernels in the workload (max 10)")
+	flag.Parse()
+
+	if err := run(*addr, *n, *c, *nk); err != nil {
+		fmt.Fprintln(os.Stderr, "macsload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, n, c, nk int) error {
+	kernels := macs.Kernels()
+	if nk < 1 {
+		nk = 1
+	}
+	if nk > len(kernels) {
+		nk = len(kernels)
+	}
+	reqs := make([][]byte, nk)
+	for i, k := range kernels[:nk] {
+		body, err := json.Marshal(service.AnalyzeRequest{
+			Source:     k.Source,
+			Iterations: int64(k.Elements),
+			Prime: service.Priming{
+				Ints:   k.Ints,
+				Reals:  k.Reals,
+				Arrays: k.Arrays,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		reqs[i] = body
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Cold pass: every distinct kernel once, sequentially.
+	coldStart := time.Now()
+	for i, body := range reqs {
+		if _, err := analyze(client, addr, body); err != nil {
+			return fmt.Errorf("cold pass, kernel %d: %w", kernels[i].ID, err)
+		}
+	}
+	coldDur := time.Since(coldStart)
+	fmt.Printf("cold: %d kernels in %v (%.1f req/s)\n",
+		nk, coldDur.Round(time.Millisecond), float64(nk)/coldDur.Seconds())
+
+	// Hot phase: n requests over the same kernels from c clients.
+	var (
+		idx     atomic.Int64
+		rejects atomic.Int64
+		mu      sync.Mutex
+		lats    []time.Duration
+	)
+	hotStart := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := idx.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				t0 := time.Now()
+				status, err := analyze(client, addr, reqs[i%int64(nk)])
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "macsload:", err)
+					continue
+				}
+				if status == http.StatusTooManyRequests {
+					rejects.Add(1)
+					time.Sleep(50 * time.Millisecond) // honor backpressure
+					continue
+				}
+				mu.Lock()
+				lats = append(lats, time.Since(t0))
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	hotDur := time.Since(hotStart)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Printf("hot:  %d requests, %d clients in %v (%.1f req/s, %d rejected)\n",
+		len(lats), c, hotDur.Round(time.Millisecond),
+		float64(len(lats))/hotDur.Seconds(), rejects.Load())
+	if len(lats) > 0 {
+		fmt.Printf("      p50 %v  p90 %v  p99 %v  max %v\n",
+			pct(lats, 50).Round(time.Microsecond), pct(lats, 90).Round(time.Microsecond),
+			pct(lats, 99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+
+	// Server-side view: cache effectiveness from /metrics.
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var snap service.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return err
+	}
+	fmt.Printf("server: cache %d/%d hit (%.1f%%), %d evictions, %d pipeline runs, %d deduped\n",
+		snap.Cache.Hits, snap.Cache.Hits+snap.Cache.Misses, 100*snap.Cache.HitRate,
+		snap.Cache.Evictions, snap.PipelineRuns, snap.DedupShared)
+	return nil
+}
+
+// analyze POSTs one request and returns the HTTP status. Non-2xx and
+// non-429 statuses are errors.
+func analyze(client *http.Client, addr string, body []byte) (int, error) {
+	resp, err := client.Post(addr+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+		return resp.StatusCode, fmt.Errorf("status %s", resp.Status)
+	}
+	return resp.StatusCode, nil
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := p * len(sorted) / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,157 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"macs"
+)
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v; want 1, true", v, ok)
+	}
+	c.Get("b") // miss
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Entries != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 2 misses, 1 entry", s)
+	}
+	if got, want := s.HitRate, 1.0/3.0; got != want {
+		t.Fatalf("hit rate = %v; want %v", got, want)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	// Touch "a" so "b" is now the least recently used.
+	c.Get("a")
+	c.Put("d", 4)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; want LRU evicted")
+	}
+	for _, k := range []Key{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted; want resident", k)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 3 {
+		t.Fatalf("stats = %+v; want 1 eviction, 3 entries", s)
+	}
+}
+
+func TestCachePutExistingRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh, not insert
+	c.Put("c", 3)  // evicts b, the LRU
+	if v, ok := c.Get("a"); !ok || v.(int) != 10 {
+		t.Fatalf("Get(a) = %v, %v; want 10, true", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived; want evicted")
+	}
+}
+
+// TestKeySensitivity flips every request-relevant configuration field
+// and checks each variant hashes to a distinct key.
+func TestKeySensitivity(t *testing.T) {
+	opts := macs.DefaultCompilerOptions()
+	cfg := macs.DefaultVMConfig()
+	rules := macs.DefaultRules()
+	src := "PROGRAM P\nEND\n"
+	mk := func(kind, src string, opts macs.CompilerOptions, cfg macs.VMConfig, rules macs.Rules, iters int64, prime Priming) Key {
+		t.Helper()
+		k, err := NewKey(kind, src, opts, cfg, rules, iters, prime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	base := mk("analyze", src, opts, cfg, rules, 0, Priming{})
+	variants := map[string]Key{}
+
+	variants["kind"] = mk("bound", src, opts, cfg, rules, 0, Priming{})
+	variants["source"] = mk("analyze", src+" ", opts, cfg, rules, 0, Priming{})
+	variants["iterations"] = mk("analyze", src, opts, cfg, rules, 7, Priming{})
+	variants["prime"] = mk("analyze", src, opts, cfg, rules, 0, Priming{Ints: map[string]int64{"N": 5}})
+
+	o := opts
+	o.VL = 64
+	variants["compiler.VL"] = mk("analyze", src, o, cfg, rules, 0, Priming{})
+	o = opts
+	o.FPSlots = 2
+	variants["compiler.FPSlots"] = mk("analyze", src, o, cfg, rules, 0, Priming{})
+	o = opts
+	o.ForceScalar = true
+	variants["compiler.ForceScalar"] = mk("analyze", src, o, cfg, rules, 0, Priming{})
+
+	v := cfg
+	v.MemSlowdown = 2.0
+	variants["vm.MemSlowdown"] = mk("analyze", src, opts, v, rules, 0, Priming{})
+	v = cfg
+	v.BankConflicts = !v.BankConflicts
+	variants["vm.BankConflicts"] = mk("analyze", src, opts, v, rules, 0, Priming{})
+
+	r := rules
+	r.Chaining = !r.Chaining
+	variants["rules.Chaining"] = mk("analyze", src, opts, cfg, r, 0, Priming{})
+	r = rules
+	r.Bubbles = !r.Bubbles
+	variants["rules.Bubbles"] = mk("analyze", src, opts, cfg, r, 0, Priming{})
+
+	seen := map[Key]string{base: "base"}
+	for name, k := range variants {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+
+	// Determinism: identical inputs, identical key (maps included).
+	p := Priming{Ints: map[string]int64{"N": 1, "M": 2}, Reals: map[string]float64{"A": 1.5}}
+	k1 := mk("analyze", src, opts, cfg, rules, 3, p)
+	k2 := mk("analyze", src, opts, cfg, rules, 3, p)
+	if k1 != k2 {
+		t.Fatal("identical requests hashed to different keys")
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines under
+// -race; correctness here is "no race, no panic, counters consistent".
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := Key(fmt.Sprintf("k%d", (g+i)%16))
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, i)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	s := c.Stats()
+	if s.Entries > 8 {
+		t.Fatalf("cache over capacity: %d entries", s.Entries)
+	}
+	if s.Hits+s.Misses != 8*200 {
+		t.Fatalf("lookups = %d; want %d", s.Hits+s.Misses, 8*200)
+	}
+}

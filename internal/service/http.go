@@ -1,0 +1,156 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; kernel sources are tiny, priming
+// arrays are at most a few thousand floats.
+const maxBodyBytes = 4 << 20
+
+// NewHandler wires the service into an http.Handler:
+//
+//	POST /v1/analyze   full pipeline (compile, bound, simulate)
+//	POST /v1/bound     bounds hierarchy only
+//	POST /v1/ax        A-process / X-process measurement
+//	GET  /v1/lfk/{id}  one case-study kernel, bounds + measurement + diagnosis
+//	GET  /healthz      liveness
+//	GET  /metrics      JSON counters, cache/queue stats, latency histograms
+//
+// Every analysis request runs under the service's RequestTimeout and is
+// logged structurally (endpoint, status, duration).
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(s, w, r, func(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, error) {
+			return s.Analyze(ctx, req)
+		})
+	})
+	mux.HandleFunc("POST /v1/bound", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(s, w, r, func(ctx context.Context, req BoundRequest) (BoundResponse, error) {
+			return s.Bound(ctx, req)
+		})
+	})
+	mux.HandleFunc("POST /v1/ax", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(s, w, r, func(ctx context.Context, req AXRequest) (AXResponse, error) {
+			return s.AX(ctx, req)
+		})
+	})
+	mux.HandleFunc("GET /v1/lfk/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad kernel id %q", r.PathValue("id")))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		resp, err := s.LFK(ctx, id)
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	return accessLog(s.log, mux)
+}
+
+// handleJSON decodes a JSON body, applies the request timeout, runs the
+// endpoint and writes the JSON response or mapped error.
+func handleJSON[Req, Resp any](s *Service, w http.ResponseWriter, r *http.Request, fn func(context.Context, Req) (Resp, error)) {
+	var req Req
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := fn(ctx, req)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeServiceError maps service errors onto HTTP status codes:
+// backpressure → 429 + Retry-After, timeout → 504, cancelled client →
+// 499 (nginx convention), anything else (compile/analysis failures) →
+// 422.
+func writeServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, 499, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusWriter captures the response code for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += n
+	return n, err
+}
+
+// accessLog emits one structured line per request.
+func accessLog(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		log.Info("http",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur", time.Since(start),
+			"remote", r.RemoteAddr,
+		)
+	})
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	srv := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return s, srv
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	if m := decode[map[string]string](t, resp); m["status"] != "ok" {
+		t.Fatalf("healthz body = %v", m)
+	}
+}
+
+func TestHTTPAnalyzeRoundTrip(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2, QueueSize: 8})
+	req := AnalyzeRequest{Source: saxpySrc, Iterations: 32,
+		Prime: Priming{Ints: map[string]int64{"N": 32}, Reals: map[string]float64{"A": 1.5}}}
+
+	resp := postJSON(t, srv.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status = %d", resp.StatusCode)
+	}
+	r1 := decode[AnalyzeResponse](t, resp)
+	if r1.Bounds.TMACS <= 0 || r1.Cycles <= 0 || r1.Cached {
+		t.Fatalf("implausible first response: %+v", r1)
+	}
+	if !strings.Contains(r1.Report, "t_MACS") {
+		t.Fatalf("report missing hierarchy: %q", r1.Report)
+	}
+
+	r2 := decode[AnalyzeResponse](t, postJSON(t, srv.URL+"/v1/analyze", req))
+	if !r2.Cached {
+		t.Fatal("second identical request not served from cache")
+	}
+
+	// The cache hit is visible on /metrics.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := decode[Snapshot](t, mresp)
+	if snap.Cache.Hits < 1 || snap.PipelineRuns != 1 {
+		t.Fatalf("metrics: %+v; want >=1 cache hit and exactly 1 pipeline run", snap.Cache)
+	}
+	if ep, ok := snap.Endpoints["analyze"]; !ok || ep.Count != 2 {
+		t.Fatalf("endpoint metrics = %+v; want analyze count 2", snap.Endpoints)
+	}
+}
+
+func TestHTTPBoundAndErrors(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+
+	r := decode[BoundResponse](t, postJSON(t, srv.URL+"/v1/bound", BoundRequest{Source: saxpySrc}))
+	if r.Bounds.TMACS <= 0 {
+		t.Fatalf("bound response: %+v", r)
+	}
+
+	// Malformed body → 400.
+	resp, err := http.Post(srv.URL+"/v1/bound", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status = %d; want 400", resp.StatusCode)
+	}
+
+	// Source the pipeline rejects → 422.
+	resp = postJSON(t, srv.URL+"/v1/bound", BoundRequest{Source: "PROGRAM P\nEND\n"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("loop-less source status = %d; want 422", resp.StatusCode)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	s, srv := newTestServer(t, Config{Workers: 1, QueueSize: 1})
+	release := make(chan struct{})
+	defer close(release)
+	if err := s.pool.Submit(context.Background(), func(context.Context) { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.pool.Stats().InFlight == 1 })
+	if err := s.pool.Submit(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, srv.URL+"/v1/analyze", AnalyzeRequest{Source: saxpySrc})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full-queue status = %d; want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+}
+
+func TestHTTPLFK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel run in -short mode")
+	}
+	_, srv := newTestServer(t, Config{Workers: 2, QueueSize: 8})
+	resp, err := http.Get(srv.URL + "/v1/lfk/12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lfk status = %d", resp.StatusCode)
+	}
+	r := decode[LFKResponse](t, resp)
+	if r.ID != 12 || !r.Validated || r.Bounds.TMACS <= 0 || r.TP <= 0 {
+		t.Fatalf("lfk response: %+v", r)
+	}
+	if r.Diagnosis == "" {
+		t.Fatal("lfk response missing diagnosis")
+	}
+
+	// Unknown / excluded kernel → 422; junk id → 400.
+	resp, err = http.Get(srv.URL + "/v1/lfk/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("lfk/5 status = %d; want 422", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/lfk/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("lfk/abc status = %d; want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
+// latency histogram buckets; an implicit +Inf bucket follows.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// histogram is a fixed-bucket latency histogram in milliseconds.
+type histogram struct {
+	counts []int64 // len(latencyBucketsMS)+1, last is +Inf
+	sumMS  float64
+	maxMS  float64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBucketsMS)+1)}
+}
+
+func (h *histogram) observe(ms float64) {
+	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	h.counts[i]++
+	h.sumMS += ms
+	if ms > h.maxMS {
+		h.maxMS = ms
+	}
+}
+
+// Metrics collects per-endpoint request counters and latency
+// distributions. Cache, queue and dedup figures live on their owners and
+// are merged into the Snapshot by the Service.
+type Metrics struct {
+	start time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	count  int64
+	errors int64
+	hist   *histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics)}
+}
+
+// Observe records one finished request against endpoint.
+func (m *Metrics) Observe(endpoint string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.endpoints[endpoint]
+	if !ok {
+		e = &endpointMetrics{hist: newHistogram()}
+		m.endpoints[endpoint] = e
+	}
+	e.count++
+	if failed {
+		e.errors++
+	}
+	e.hist.observe(float64(d) / float64(time.Millisecond))
+}
+
+// BucketCount is one cumulative histogram bucket: requests that finished
+// in at most LEMS milliseconds (LEMS < 0 encodes +Inf).
+type BucketCount struct {
+	LEMS  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// LatencySnapshot summarizes one endpoint's latency distribution.
+type LatencySnapshot struct {
+	MeanMS  float64       `json:"mean_ms"`
+	MaxMS   float64       `json:"max_ms"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// EndpointSnapshot is one endpoint's counters on /metrics.
+type EndpointSnapshot struct {
+	Count   int64           `json:"count"`
+	Errors  int64           `json:"errors"`
+	Latency LatencySnapshot `json:"latency"`
+}
+
+// Snapshot is the full /metrics document.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Cache         CacheStats                  `json:"cache"`
+	Queue         PoolStats                   `json:"queue"`
+	// DedupShared counts requests that attached to another request's
+	// in-flight computation instead of starting their own.
+	DedupShared int64 `json:"dedup_shared"`
+	// PipelineRuns counts actual executions of the underlying analysis
+	// pipeline (cache misses that ran to completion or error).
+	PipelineRuns int64 `json:"pipeline_runs"`
+}
+
+// snapshotEndpoints renders the per-endpoint section.
+func (m *Metrics) snapshotEndpoints() map[string]EndpointSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]EndpointSnapshot, len(m.endpoints))
+	for name, e := range m.endpoints {
+		ls := LatencySnapshot{MaxMS: e.hist.maxMS}
+		if e.count > 0 {
+			ls.MeanMS = e.hist.sumMS / float64(e.count)
+		}
+		var cum int64
+		for i, n := range e.hist.counts {
+			cum += n
+			le := -1.0 // +Inf
+			if i < len(latencyBucketsMS) {
+				le = latencyBucketsMS[i]
+			}
+			ls.Buckets = append(ls.Buckets, BucketCount{LEMS: le, Count: cum})
+		}
+		out[name] = EndpointSnapshot{Count: e.count, Errors: e.errors, Latency: ls}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(4, 8)
+	var n atomic.Int64
+	for i := 0; i < 20; i++ {
+		for {
+			err := p.Submit(context.Background(), func(context.Context) { n.Add(1) })
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Close()
+	if n.Load() != 20 {
+		t.Fatalf("ran %d jobs; want 20", n.Load())
+	}
+}
+
+func TestPoolQueueOverflow(t *testing.T) {
+	p := NewPool(1, 2)
+	release := make(chan struct{})
+	// Occupy the single worker...
+	if err := p.Submit(context.Background(), func(context.Context) { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	// ...wait until it is actually in flight so the queue is empty...
+	waitFor(t, func() bool { return p.Stats().InFlight == 1 })
+	// ...fill the queue...
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(context.Background(), func(context.Context) {}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	// ...and the next submit must shed load.
+	err := p.Submit(context.Background(), func(context.Context) {})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v; want ErrQueueFull", err)
+	}
+	if got := p.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected = %d; want 1", got)
+	}
+	close(release)
+	p.Close()
+}
+
+// TestPoolCloseDrains checks graceful shutdown: Close returns only after
+// queued and in-flight jobs finish, and they all actually ran.
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(1, 4)
+	var n atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	p.Submit(context.Background(), func(context.Context) { //nolint:errcheck
+		close(started)
+		<-release
+		n.Add(1)
+	})
+	<-started
+	for i := 0; i < 3; i++ {
+		if err := p.Submit(context.Background(), func(context.Context) { n.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	p.Close() // must block until all 4 jobs completed
+	if n.Load() != 4 {
+		t.Fatalf("drained %d jobs; want 4", n.Load())
+	}
+	if err := p.Submit(context.Background(), func(context.Context) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v; want ErrClosed", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,507 @@
+// Package service turns the one-shot MACS pipeline (compile → bound →
+// simulate → A/X → diagnose) into a long-lived, concurrent analysis
+// service: a bounded worker pool with queue backpressure, a
+// content-addressed LRU result cache with singleflight deduplication of
+// concurrent identical requests, and an observability layer (counters,
+// latency histograms, cache and queue stats). The HTTP front end lives
+// in http.go; cmd/macsd is the daemon around it.
+//
+// The service wraps the public macs facade and never reaches into the
+// simulator, so serving semantics and model semantics stay decoupled.
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"macs"
+	"macs/internal/compiler"
+)
+
+// Config sizes the service. Zero fields take the Default values.
+type Config struct {
+	// Workers is the number of concurrent pipeline executions.
+	Workers int
+	// QueueSize bounds pending jobs; beyond it Submit sheds load (429).
+	QueueSize int
+	// CacheSize bounds the result cache, in entries.
+	CacheSize int
+	// RequestTimeout bounds one request end to end (queue wait included).
+	RequestTimeout time.Duration
+	// Compiler, VM and Rules configure the pipeline for every request
+	// and are part of every cache key.
+	Compiler macs.CompilerOptions
+	VM       macs.VMConfig
+	Rules    macs.Rules
+	// Logger receives structured request logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// DefaultConfig returns production-shaped defaults: one worker per CPU,
+// a queue twice as deep, and the paper's C-240 model configuration.
+func DefaultConfig() Config {
+	return Config{
+		Workers:        runtime.NumCPU(),
+		QueueSize:      2 * runtime.NumCPU(),
+		CacheSize:      512,
+		RequestTimeout: 30 * time.Second,
+		Compiler:       macs.DefaultCompilerOptions(),
+		VM:             macs.DefaultVMConfig(),
+		Rules:          macs.DefaultRules(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = d.QueueSize
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = d.CacheSize
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.Compiler == (macs.CompilerOptions{}) {
+		c.Compiler = d.Compiler
+	}
+	if c.VM.VLMax == 0 {
+		c.VM = d.VM
+	}
+	if c.Rules == (macs.Rules{}) {
+		c.Rules = d.Rules
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 4}))
+	}
+	return c
+}
+
+// flight is one in-progress computation shared by every concurrent
+// request with the same key (singleflight). The flight's context is
+// detached from any single waiter; when the last waiter gives up, the
+// flight is cancelled so queued work is skipped, not executed.
+type flight struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// Service is the concurrent MACS analysis engine.
+type Service struct {
+	cfg     Config
+	pool    *Pool
+	cache   *Cache
+	metrics *Metrics
+	log     *slog.Logger
+
+	mu      sync.Mutex
+	flights map[Key]*flight
+
+	dedupShared  atomic.Int64
+	pipelineRuns atomic.Int64
+}
+
+// New builds a Service and starts its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:     cfg,
+		pool:    NewPool(cfg.Workers, cfg.QueueSize),
+		cache:   NewCache(cfg.CacheSize),
+		metrics: NewMetrics(),
+		log:     cfg.Logger,
+		flights: make(map[Key]*flight),
+	}
+}
+
+// Close drains the service: no new work is accepted and every queued and
+// in-flight job runs to completion before Close returns.
+func (s *Service) Close() { s.pool.Close() }
+
+// Metrics returns the full observability snapshot served on /metrics.
+func (s *Service) Metrics() Snapshot {
+	return Snapshot{
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		Endpoints:     s.metrics.snapshotEndpoints(),
+		Cache:         s.cache.Stats(),
+		Queue:         s.pool.Stats(),
+		DedupShared:   s.dedupShared.Load(),
+		PipelineRuns:  s.pipelineRuns.Load(),
+	}
+}
+
+// PipelineRuns reports how many times the underlying pipeline actually
+// executed — the dedup and cache tests assert on it.
+func (s *Service) PipelineRuns() int64 { return s.pipelineRuns.Load() }
+
+// do is the heart of the service: cache lookup, singleflight attach or
+// lead, pool submission with backpressure, and context-bounded waiting.
+// It returns (value, servedFromCache, error).
+func (s *Service) do(ctx context.Context, key Key, fn func() (any, error)) (any, bool, error) {
+	if v, ok := s.cache.Get(key); ok {
+		return v, true, nil
+	}
+
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		f.waiters++
+		s.mu.Unlock()
+		s.dedupShared.Add(1)
+		v, err := s.wait(ctx, f)
+		return v, false, err
+	}
+	// Lead a new flight. Its context is detached from this request so a
+	// single waiter's timeout cannot kill a computation others share; it
+	// is cancelled only when every waiter has gone away.
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	err := s.pool.Submit(fctx, func(jctx context.Context) {
+		var v any
+		var jerr error
+		if jerr = jctx.Err(); jerr == nil {
+			s.pipelineRuns.Add(1)
+			v, jerr = fn()
+		}
+		s.mu.Lock()
+		f.val, f.err = v, jerr
+		if s.flights[key] == f {
+			delete(s.flights, key)
+		}
+		s.mu.Unlock()
+		if jerr == nil {
+			s.cache.Put(key, v)
+		}
+		cancel()
+		close(f.done)
+	})
+	if err != nil {
+		// The queue rejected the job. Fail the flight (not just this
+		// caller): a waiter may have attached while the lock was
+		// released, and it must see the error rather than hang.
+		s.mu.Lock()
+		f.err = err
+		if s.flights[key] == f {
+			delete(s.flights, key)
+		}
+		s.mu.Unlock()
+		cancel()
+		close(f.done)
+		return nil, false, err
+	}
+	v, err := s.wait(ctx, f)
+	return v, false, err
+}
+
+// wait blocks until the flight completes or ctx expires. A waiter that
+// gives up deregisters; the last one to leave cancels the flight so a
+// still-queued job is skipped by the worker.
+func (s *Service) wait(ctx context.Context, f *flight) (any, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		f.waiters--
+		abandon := f.waiters == 0
+		s.mu.Unlock()
+		if abandon {
+			f.cancel()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// observe wraps one endpoint call with timing and structured logging.
+func (s *Service) observe(endpoint string, start time.Time, cached bool, err error) {
+	d := time.Since(start)
+	s.metrics.Observe(endpoint, d, err != nil)
+	if err != nil {
+		s.log.Info("request", "endpoint", endpoint, "dur", d, "err", err)
+		return
+	}
+	s.log.Info("request", "endpoint", endpoint, "dur", d, "cached", cached)
+}
+
+// Priming carries memory inputs for a simulation request: scalar
+// integers, scalar reals and real arrays, by Fortran variable name. It
+// is part of the cache key — different inputs are different results.
+type Priming struct {
+	Ints   map[string]int64     `json:"ints,omitempty"`
+	Reals  map[string]float64   `json:"reals,omitempty"`
+	Arrays map[string][]float64 `json:"arrays,omitempty"`
+}
+
+// primeFunc renders a Priming into the prime callback the facade takes.
+func (p Priming) primeFunc() func(*macs.CPU) error {
+	if len(p.Ints) == 0 && len(p.Reals) == 0 && len(p.Arrays) == 0 {
+		return nil
+	}
+	return func(c *macs.CPU) error {
+		m := c.Memory()
+		addr := func(name string) (int64, error) {
+			base, ok := m.SymbolAddr(compiler.DataSym(name))
+			if !ok {
+				return 0, fmt.Errorf("service: priming unknown variable %q", name)
+			}
+			return base, nil
+		}
+		for name, v := range p.Ints {
+			base, err := addr(name)
+			if err != nil {
+				return err
+			}
+			if err := m.WriteI64(base, v); err != nil {
+				return err
+			}
+		}
+		for name, v := range p.Reals {
+			base, err := addr(name)
+			if err != nil {
+				return err
+			}
+			if err := m.WriteF64(base, v); err != nil {
+				return err
+			}
+		}
+		for name, vals := range p.Arrays {
+			base, err := addr(name)
+			if err != nil {
+				return err
+			}
+			for i, v := range vals {
+				if err := m.WriteF64(base+int64(i)*8, v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// AnalyzeRequest asks for the full pipeline: compile, bound, simulate.
+type AnalyzeRequest struct {
+	Source string `json:"source"`
+	// Iterations converts measured cycles to CPL; 0 skips the conversion.
+	Iterations int64   `json:"iterations,omitempty"`
+	Prime      Priming `json:"prime,omitempty"`
+}
+
+// BoundsView is the MA/MAC/MACS hierarchy in CPL, JSON-shaped.
+type BoundsView struct {
+	TMA    float64 `json:"t_ma"`
+	TMAC   float64 `json:"t_mac"`
+	TMACS  float64 `json:"t_macs"`
+	TMACSF float64 `json:"t_macs_f"`
+	TMACSM float64 `json:"t_macs_m"`
+	Chimes int     `json:"chimes"`
+	VL     int     `json:"vl"`
+}
+
+func boundsView(a macs.Analysis) BoundsView {
+	return BoundsView{
+		TMA:    a.TMA,
+		TMAC:   a.TMAC,
+		TMACS:  a.MACS.CPL,
+		TMACSF: a.MACSF.CPL,
+		TMACSM: a.MACSM.CPL,
+		Chimes: len(a.MACS.Chimes),
+		VL:     a.VL,
+	}
+}
+
+// AnalyzeResponse is the outcome of POST /v1/analyze.
+type AnalyzeResponse struct {
+	Bounds      BoundsView `json:"bounds"`
+	MeasuredCPL float64    `json:"measured_cpl"`
+	Cycles      int64      `json:"cycles"`
+	Iterations  int64      `json:"iterations"`
+	Stats       macs.Stats `json:"stats"`
+	Report      string     `json:"report"`
+	// Cached reports whether this response was served from the result
+	// cache rather than a fresh pipeline execution.
+	Cached bool `json:"cached"`
+}
+
+// Analyze runs (or recalls) the full pipeline for one kernel source.
+func (s *Service) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, error) {
+	start := time.Now()
+	key, err := NewKey("analyze", req.Source, s.cfg.Compiler, s.cfg.VM, s.cfg.Rules, req.Iterations, req.Prime)
+	if err != nil {
+		s.observe("analyze", start, false, err)
+		return AnalyzeResponse{}, err
+	}
+	v, cached, err := s.do(ctx, key, func() (any, error) {
+		res, err := macs.AnalyzeSource(req.Source, req.Iterations, req.Prime.primeFunc())
+		if err != nil {
+			return nil, err
+		}
+		return &AnalyzeResponse{
+			Bounds:      boundsView(res.Analysis),
+			MeasuredCPL: res.MeasuredCPL,
+			Cycles:      res.Stats.Cycles,
+			Iterations:  res.Iterations,
+			Stats:       res.Stats,
+			Report:      res.Report(),
+		}, nil
+	})
+	s.observe("analyze", start, cached, err)
+	if err != nil {
+		return AnalyzeResponse{}, err
+	}
+	resp := *v.(*AnalyzeResponse)
+	resp.Cached = cached
+	return resp, nil
+}
+
+// BoundRequest asks for the model only — no simulation.
+type BoundRequest struct {
+	Source string `json:"source"`
+}
+
+// BoundResponse is the outcome of POST /v1/bound.
+type BoundResponse struct {
+	Bounds BoundsView `json:"bounds"`
+	Cached bool       `json:"cached"`
+}
+
+// Bound computes (or recalls) the MA/MAC/MACS hierarchy for a source.
+func (s *Service) Bound(ctx context.Context, req BoundRequest) (BoundResponse, error) {
+	start := time.Now()
+	key, err := NewKey("bound", req.Source, s.cfg.Compiler, s.cfg.VM, s.cfg.Rules, int64(0))
+	if err != nil {
+		s.observe("bound", start, false, err)
+		return BoundResponse{}, err
+	}
+	v, cached, err := s.do(ctx, key, func() (any, error) {
+		a, err := macs.BoundSource(req.Source)
+		if err != nil {
+			return nil, err
+		}
+		return &BoundResponse{Bounds: boundsView(a)}, nil
+	})
+	s.observe("bound", start, cached, err)
+	if err != nil {
+		return BoundResponse{}, err
+	}
+	resp := *v.(*BoundResponse)
+	resp.Cached = cached
+	return resp, nil
+}
+
+// AXRequest asks for the A-process / X-process measurement of a source.
+type AXRequest struct {
+	Source string  `json:"source"`
+	Prime  Priming `json:"prime,omitempty"`
+}
+
+// AXResponse is the outcome of POST /v1/ax, in raw cycles.
+type AXResponse struct {
+	TP     int64 `json:"t_p_cycles"`
+	TA     int64 `json:"t_a_cycles"`
+	TX     int64 `json:"t_x_cycles"`
+	Cached bool  `json:"cached"`
+}
+
+// AX compiles a source and measures its A- and X-process run times.
+func (s *Service) AX(ctx context.Context, req AXRequest) (AXResponse, error) {
+	start := time.Now()
+	key, err := NewKey("ax", req.Source, s.cfg.Compiler, s.cfg.VM, s.cfg.Rules, int64(0), req.Prime)
+	if err != nil {
+		s.observe("ax", start, false, err)
+		return AXResponse{}, err
+	}
+	v, cached, err := s.do(ctx, key, func() (any, error) {
+		p, err := macs.Compile(req.Source, s.cfg.Compiler)
+		if err != nil {
+			return nil, err
+		}
+		m, err := macs.MeasureAX(p, s.cfg.VM, req.Prime.primeFunc())
+		if err != nil {
+			return nil, err
+		}
+		return &AXResponse{TP: m.TP, TA: m.TA, TX: m.TX}, nil
+	})
+	s.observe("ax", start, cached, err)
+	if err != nil {
+		return AXResponse{}, err
+	}
+	resp := *v.(*AXResponse)
+	resp.Cached = cached
+	return resp, nil
+}
+
+// LFKResponse is the outcome of GET /v1/lfk/{id}: the bounds hierarchy,
+// the measured and A/X performance, validation status and the §4.4
+// diagnosis for one case-study kernel.
+type LFKResponse struct {
+	ID        int        `json:"id"`
+	Name      string     `json:"name"`
+	Bounds    BoundsView `json:"bounds"`
+	TP        float64    `json:"t_p"`
+	TA        float64    `json:"t_a"`
+	TX        float64    `json:"t_x"`
+	Validated bool       `json:"validated"`
+	Diagnosis string     `json:"diagnosis"`
+	Cached    bool       `json:"cached"`
+}
+
+// LFK runs (or recalls) the full case-study pipeline for one kernel id.
+func (s *Service) LFK(ctx context.Context, id int) (LFKResponse, error) {
+	start := time.Now()
+	key, err := NewKey("lfk", fmt.Sprintf("%d", id), s.cfg.Compiler, s.cfg.VM, s.cfg.Rules, int64(0))
+	if err != nil {
+		s.observe("lfk", start, false, err)
+		return LFKResponse{}, err
+	}
+	v, cached, err := s.do(ctx, key, func() (any, error) {
+		k, err := macs.KernelByID(id)
+		if err != nil {
+			return nil, err
+		}
+		cfg := macs.DefaultExperimentConfig()
+		cfg.VM = s.cfg.VM
+		cfg.Compiler = s.cfg.Compiler
+		r, err := macs.RunKernel(k, cfg)
+		if err != nil {
+			return nil, err
+		}
+		diag := macs.Diagnose(macs.DiagnosisInputs{
+			Analysis: r.Analysis,
+			TP:       k.CPL(r.AX.TP),
+			TA:       k.CPL(r.AX.TA),
+			TX:       k.CPL(r.AX.TX),
+		})
+		return &LFKResponse{
+			ID:        k.ID,
+			Name:      k.Name,
+			Bounds:    boundsView(r.Analysis),
+			TP:        k.CPL(r.Cycles),
+			TA:        k.CPL(r.AX.TA),
+			TX:        k.CPL(r.AX.TX),
+			Validated: r.Validated,
+			Diagnosis: diag.String(),
+		}, nil
+	})
+	s.observe("lfk", start, cached, err)
+	if err != nil {
+		return LFKResponse{}, err
+	}
+	resp := *v.(*LFKResponse)
+	resp.Cached = cached
+	return resp, nil
+}

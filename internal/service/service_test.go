@@ -1,0 +1,228 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+const saxpySrc = `
+PROGRAM SAXPY
+REAL X(2048), Y(2048), A
+INTEGER N, K
+DO K = 1, N
+  Y(K) = Y(K) + A*X(K)
+ENDDO
+END
+`
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestAnalyzeAndCacheFlag(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueSize: 8})
+	req := AnalyzeRequest{
+		Source:     saxpySrc,
+		Iterations: 64,
+		Prime:      Priming{Ints: map[string]int64{"N": 64}, Reals: map[string]float64{"A": 2.5}},
+	}
+	r1, err := s.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatal("first request served from cache")
+	}
+	if r1.Bounds.TMACS <= 0 || r1.Cycles <= 0 || r1.MeasuredCPL <= 0 {
+		t.Fatalf("implausible result: %+v", r1)
+	}
+	r2, err := s.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("identical second request missed the cache")
+	}
+	if r2.Bounds != r1.Bounds || r2.Cycles != r1.Cycles {
+		t.Fatal("cached result differs from computed result")
+	}
+	if got := s.PipelineRuns(); got != 1 {
+		t.Fatalf("pipeline ran %d times; want 1", got)
+	}
+}
+
+// TestConcurrentIdenticalRequestsDedup is the singleflight guarantee:
+// many concurrent identical requests share exactly one execution.
+// Run under -race.
+func TestConcurrentIdenticalRequestsDedup(t *testing.T) {
+	s := newTestService(t, Config{Workers: 4, QueueSize: 64})
+	req := AnalyzeRequest{Source: saxpySrc, Iterations: 32,
+		Prime: Priming{Ints: map[string]int64{"N": 32}}}
+
+	const clients = 16
+	var wg sync.WaitGroup
+	results := make([]AnalyzeResponse, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Analyze(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if results[i].Cycles != results[0].Cycles {
+			t.Fatalf("client %d saw different cycles", i)
+		}
+	}
+	if got := s.PipelineRuns(); got != 1 {
+		t.Fatalf("pipeline ran %d times for %d identical requests; want 1", got, clients)
+	}
+	m := s.Metrics()
+	if m.DedupShared+m.Cache.Hits < clients-1 {
+		t.Fatalf("dedup+hits = %d; want >= %d", m.DedupShared+m.Cache.Hits, clients-1)
+	}
+}
+
+// TestQueueFullBackpressure: with the lone worker blocked and the queue
+// full, a new request fails fast with ErrQueueFull.
+func TestQueueFullBackpressure(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueSize: 1})
+	release := make(chan struct{})
+	defer close(release)
+	if err := s.pool.Submit(context.Background(), func(context.Context) { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.pool.Stats().InFlight == 1 })
+	if err := s.pool.Submit(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Analyze(context.Background(), AnalyzeRequest{Source: saxpySrc})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Analyze with full queue: %v; want ErrQueueFull", err)
+	}
+}
+
+// TestRequestTimeoutCancelsQueuedWork: a request whose context expires
+// while its job is still queued returns DeadlineExceeded, and the
+// abandoned job is skipped — the pipeline never runs for it.
+func TestRequestTimeoutCancelsQueuedWork(t *testing.T) {
+	s := New(Config{Workers: 1, QueueSize: 4})
+	release := make(chan struct{})
+	if err := s.pool.Submit(context.Background(), func(context.Context) { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.pool.Stats().InFlight == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := s.Analyze(ctx, AnalyzeRequest{Source: saxpySrc})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Analyze = %v; want DeadlineExceeded", err)
+	}
+
+	close(release)
+	s.Close() // drain: the abandoned job is dequeued (and skipped) here
+	if got := s.PipelineRuns(); got != 0 {
+		t.Fatalf("pipeline ran %d times for an abandoned request; want 0", got)
+	}
+}
+
+// TestCloseDrainsInFlightRequests: jobs accepted before shutdown finish
+// and deliver results; Close blocks until they do.
+func TestCloseDrainsInFlightRequests(t *testing.T) {
+	s := New(Config{Workers: 1, QueueSize: 4})
+	release := make(chan struct{})
+	if err := s.pool.Submit(context.Background(), func(context.Context) { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.pool.Stats().InFlight == 1 })
+
+	type out struct {
+		resp AnalyzeResponse
+		err  error
+	}
+	done := make(chan out, 1)
+	go func() {
+		var o out
+		o.resp, o.err = s.Analyze(context.Background(), AnalyzeRequest{Source: saxpySrc, Iterations: 16,
+			Prime: Priming{Ints: map[string]int64{"N": 16}}})
+		done <- o
+	}()
+	waitFor(t, func() bool { return s.pool.Stats().Depth == 1 })
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	s.Close() // must wait for the queued analysis to run
+
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("drained request failed: %v", o.err)
+	}
+	if o.resp.Bounds.TMACS <= 0 {
+		t.Fatalf("drained request returned empty result: %+v", o.resp)
+	}
+	if got := s.PipelineRuns(); got != 1 {
+		t.Fatalf("pipeline ran %d times; want 1", got)
+	}
+}
+
+func TestBoundNoSimulation(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueSize: 8})
+	r, err := s.Bound(context.Background(), BoundRequest{Source: saxpySrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bounds.TMA <= 0 || r.Bounds.TMACS < r.Bounds.TMAC {
+		t.Fatalf("implausible hierarchy: %+v", r.Bounds)
+	}
+	r2, err := s.Bound(context.Background(), BoundRequest{Source: saxpySrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("second bound request missed the cache")
+	}
+}
+
+func TestAXEndpointMeasures(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueSize: 8})
+	r, err := s.AX(context.Background(), AXRequest{Source: saxpySrc,
+		Prime: Priming{Ints: map[string]int64{"N": 32}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TP <= 0 || r.TA <= 0 || r.TX <= 0 {
+		t.Fatalf("implausible A/X measurement: %+v", r)
+	}
+}
+
+func TestAnalyzeCompileErrorNotCached(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueSize: 4})
+	req := AnalyzeRequest{Source: "PROGRAM P\nREAL X(8)\nINTEGER K\nX(1) = 1.0\nEND\n"}
+	if _, err := s.Analyze(context.Background(), req); err == nil {
+		t.Fatal("analyze of loop-less source succeeded; want error")
+	}
+	if _, err := s.Analyze(context.Background(), req); err == nil {
+		t.Fatal("second analyze succeeded; want error again")
+	}
+	// Both attempts executed: failures are not cached.
+	if got := s.PipelineRuns(); got != 2 {
+		t.Fatalf("pipeline ran %d times; want 2 (errors uncached)", got)
+	}
+	if got := s.cache.Len(); got != 0 {
+		t.Fatalf("cache holds %d entries after failures; want 0", got)
+	}
+}

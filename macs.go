@@ -15,8 +15,18 @@
 //
 // Quick start:
 //
-//	res, err := macs.AnalyzeSource(src)   // bounds + measurement
+//	// bounds + simulated measurement; iterations converts cycles to
+//	// CPL, prime (may be nil) sets memory inputs before the run.
+//	res, err := macs.AnalyzeSource(src, iterations, prime)
 //	fmt.Println(res.Report())
+//
+//	// bounds only, no simulation:
+//	a, err := macs.BoundSource(src)
+//
+// The same pipeline is also available as a long-running HTTP service:
+// cmd/macsd serves POST /v1/analyze, /v1/bound, /v1/ax and GET /v1/lfk/{id}
+// through internal/service, with a worker pool, a content-addressed result
+// cache and JSON metrics on /metrics (see the README's "macsd" section).
 //
 // The subsystems are exposed through type aliases so the whole machinery
 // remains one import for downstream users; power users can reach the
@@ -123,34 +133,54 @@ type Result struct {
 	Iterations  int64
 }
 
+// boundSource compiles src and computes the MA/MAC/MACS hierarchy of its
+// inner loop under the given configuration. It is the shared front half
+// of BoundSource and AnalyzeSource.
+func boundSource(src string, opts CompilerOptions, vl int, rules Rules) (*Program, Analysis, error) {
+	var a Analysis
+	prog, err := compiler.Compile(src, opts)
+	if err != nil {
+		return nil, a, err
+	}
+	parsed, err := ftn.Parse(src)
+	if err != nil {
+		return prog, a, err
+	}
+	loopStmt, ok := compiler.InnerLoop(parsed)
+	if !ok {
+		return prog, a, fmt.Errorf("macs: source has no DO loop")
+	}
+	ma, err := vectorize.MAWorkload(parsed, loopStmt)
+	if err != nil {
+		return prog, a, err
+	}
+	loop, ok := asm.InnerVectorLoop(prog)
+	if !ok {
+		return prog, a, fmt.Errorf("macs: compiled code has no vectorized inner loop")
+	}
+	return prog, core.Analyze(ma, loop.Body, vl, rules), nil
+}
+
+// BoundSource compiles src and computes the MA/MAC/MACS bounds hierarchy
+// of its inner loop without running the simulator — the cheap half of
+// AnalyzeSource, for callers that only want the model.
+func BoundSource(src string) (Analysis, error) {
+	_, a, err := boundSource(src, compiler.DefaultOptions(), vm.DefaultConfig().VLMax, core.DefaultRules())
+	return a, err
+}
+
 // AnalyzeSource runs the full MACS pipeline on a kernel source: compile,
 // bound, simulate. iterations tells the conversion to CPL how many
 // inner-loop iterations the program executes; prime (optional) sets
 // memory inputs before the run.
 func AnalyzeSource(src string, iterations int64, prime func(*CPU) error) (Result, error) {
 	var res Result
-	prog, err := compiler.Compile(src, compiler.DefaultOptions())
-	if err != nil {
-		return res, err
-	}
+	prog, a, err := boundSource(src, compiler.DefaultOptions(), vm.DefaultConfig().VLMax, core.DefaultRules())
 	res.Program = prog
-	parsed, err := ftn.Parse(src)
 	if err != nil {
 		return res, err
 	}
-	loopStmt, ok := compiler.InnerLoop(parsed)
-	if !ok {
-		return res, fmt.Errorf("macs: source has no DO loop")
-	}
-	ma, err := vectorize.MAWorkload(parsed, loopStmt)
-	if err != nil {
-		return res, err
-	}
-	loop, ok := asm.InnerVectorLoop(prog)
-	if !ok {
-		return res, fmt.Errorf("macs: compiled code has no vectorized inner loop")
-	}
-	res.Analysis = core.Analyze(ma, loop.Body, vm.DefaultConfig().VLMax, core.DefaultRules())
+	res.Analysis = a
 	cpu := vm.New(vm.DefaultConfig())
 	if err := cpu.Load(prog); err != nil {
 		return res, err
