@@ -9,6 +9,10 @@
 //	macs bound   <kernel.f>        print the bounds hierarchy
 //	macs sim     <kernel.f> [-n N] compile and simulate (N inner iterations
 //	                               for the CPL conversion)
+//	macs attr    <kernel.f> [-n N] [-trace out.json] [-ring N]
+//	                               simulate and print the per-lane stall
+//	                               attribution table; -trace writes the
+//	                               vector timing as Chrome trace_event JSON
 //	macs ax      <kernel.f>        print the A-process and X-process codes
 //	macs calib                     run the Table 1 calibration loops
 //	macs lfk <id>                  analyze one case-study kernel
@@ -42,6 +46,8 @@ func main() {
 		err = cmdBound(os.Stdout, args)
 	case "sim":
 		err = cmdSim(os.Stdout, args)
+	case "attr":
+		err = cmdAttr(os.Stdout, args)
 	case "ax":
 		err = cmdAX(os.Stdout, args)
 	case "calib":
@@ -60,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: macs {compile|bound|sim|ax} <kernel.f> | macs calib | macs sweep | macs lfk <id>")
+	fmt.Fprintln(os.Stderr, "usage: macs {compile|bound|sim|attr|ax} <kernel.f> | macs calib | macs sweep | macs lfk <id>")
 	os.Exit(2)
 }
 
@@ -123,6 +129,54 @@ func cmdSim(w io.Writer, args []string) error {
 	fmt.Fprint(w, res.Report())
 	fmt.Fprintf(w, "stats: %d instrs (%d vector), %d chimes, %d memory stall cycles\n",
 		res.Stats.Instrs, res.Stats.VectorInstrs, res.Stats.Chimes, res.Stats.MemStalls)
+	return nil
+}
+
+// cmdAttr simulates a kernel and prints where every cycle of every lane
+// went: the per-lane stall attribution table, plus optionally the vector
+// timing trace as Chrome trace_event JSON.
+func cmdAttr(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("attr", flag.ExitOnError)
+	n := fs.Int64("n", 0, "inner-loop iterations for CPL conversion")
+	traceOut := fs.String("trace", "", "write Chrome trace_event JSON to this file")
+	ring := fs.Int("ring", 4096, "bounded trace ring capacity (0 disables)")
+	var file string
+	if len(args) > 0 && args[0][0] != '-' {
+		file, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := readSource([]string{file})
+	if err != nil {
+		return err
+	}
+	cfg := macs.DefaultVMConfig()
+	if *traceOut != "" {
+		cfg.Trace = true // unbounded: the export should cover the whole run
+	} else {
+		cfg.TraceRing = *ring
+	}
+	res, err := macs.AnalyzeSourceVM(src, *n, cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, res.Report())
+	fmt.Fprintln(w)
+	fmt.Fprint(w, report.AttributionTable(res.Stats))
+	if err := res.Stats.Attr.Conserved(res.Stats.Cycles); err != nil {
+		return err
+	}
+	if *traceOut != "" {
+		b, err := macs.ChromeTrace(res.Trace)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %d trace events to %s\n", len(res.Trace), *traceOut)
+	}
 	return nil
 }
 
@@ -225,7 +279,10 @@ func cmdLFK(w io.Writer, args []string) error {
 		TP:       k.CPL(r.AX.TP),
 		TA:       k.CPL(r.AX.TA),
 		TX:       k.CPL(r.AX.TX),
+		Attr:     &r.Stats.Attr,
 	})
 	fmt.Fprintf(w, "\ndiagnosis:\n%s", diag)
+	fmt.Fprintln(w)
+	fmt.Fprint(w, report.AttributionTable(r.Stats))
 	return nil
 }

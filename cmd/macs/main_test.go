@@ -72,3 +72,41 @@ func TestCmdCompileMissingFile(t *testing.T) {
 		t.Fatal("cmdCompile with missing file succeeded; want error")
 	}
 }
+
+func TestCmdAttr(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	if err := cmdAttr(&out, []string{writeKernel(t), "-trace", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Stall attribution",
+		"issue",
+		"asu",
+		"load/store",
+		"total",
+		"wrote",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("attr output missing %q\n%s", want, got)
+		}
+	}
+	b, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"traceEvents"`) {
+		t.Errorf("trace file is not Chrome trace_event JSON:\n%.200s", b)
+	}
+}
+
+func TestCmdAttrRingOnly(t *testing.T) {
+	var out strings.Builder
+	if err := cmdAttr(&out, []string{writeKernel(t), "-ring", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Stall attribution") {
+		t.Errorf("attr output missing table:\n%s", out.String())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"macs/internal/core"
+	"macs/internal/vm"
 )
 
 // Cause identifies one diagnosed performance loss.
@@ -54,6 +55,12 @@ type Finding struct {
 	// Share is the fraction of measured run time this cause explains
 	// (0..1), used for ranking.
 	Share float64
+	// Measured is the fraction of VP pipe cycles the simulator's stall
+	// attribution directly charged to this cause (0 when no attribution
+	// was supplied or the cause has no attribution counterpart). It
+	// corroborates the model-derived Share with measurement and breaks
+	// ranking ties.
+	Measured float64
 	// Detail is a one-line human-readable explanation with numbers.
 	Detail string
 	// Suggestion names the level of the stack to attack (application,
@@ -69,6 +76,44 @@ type Inputs struct {
 	TX       float64 // execute-only measurement
 	// TMACSD, when nonzero, is the decomposition-aware bound.
 	TMACSD float64
+	// Attr, when non-nil, is the simulator's measured stall attribution
+	// for the run; findings then carry measured corroboration and rank by
+	// model share plus measured share.
+	Attr *vm.Attribution
+}
+
+// attrCauses maps diagnosis causes to the attribution buckets that
+// measure them directly on the VP pipes.
+var attrCauses = map[Cause][]vm.StallCause{
+	CauseScheduleEffects: {vm.StallStartup, vm.StallBubble, vm.StallChimeSync, vm.StallRefresh},
+	CauseScalarSplit:     {vm.StallChimeSplit, vm.StallScalar},
+	CauseMemoryBound:     {vm.StallBankConflict, vm.StallRefresh, vm.StallContention, vm.StallPortArb},
+	CauseDecomposition:   {vm.StallBankConflict},
+}
+
+// measuredShare returns the fraction of VP pipe cycles (three lanes, ASU
+// excluded) the ledger charges to the given diagnosis cause.
+func measuredShare(attr *vm.Attribution, c Cause) float64 {
+	if attr == nil || attr.Empty() {
+		return 0
+	}
+	causes, ok := attrCauses[c]
+	if !ok {
+		return 0
+	}
+	// With a conserved ledger every lane totals the run's cycle count, so
+	// lane 0's total is the per-lane denominator.
+	denom := float64(3 * attr.Lanes[vm.LaneASU].Total())
+	if denom == 0 {
+		return 0
+	}
+	var sum int64
+	for lane := vm.LaneASU + 1; lane < vm.NumLanes; lane++ {
+		for _, sc := range causes {
+			sum += attr.Lanes[lane].Stalls[sc]
+		}
+	}
+	return float64(sum) / denom
 }
 
 // Diagnosis is the ranked findings for one kernel.
@@ -87,7 +132,12 @@ func Diagnose(in Inputs) Diagnosis {
 		if share < 0.02 {
 			return // below noise
 		}
-		d.Findings = append(d.Findings, Finding{Cause: c, Share: share, Detail: detail, Suggestion: suggestion})
+		f := Finding{Cause: c, Share: share, Detail: detail, Suggestion: suggestion}
+		if m := measuredShare(in.Attr, c); m > 0 {
+			f.Measured = m
+			f.Detail += fmt.Sprintf(" [measured: %.1f%% of pipe cycles]", 100*m)
+		}
+		d.Findings = append(d.Findings, f)
 	}
 
 	// Level 1: compiler-inserted work.
@@ -163,8 +213,10 @@ func Diagnose(in Inputs) Diagnosis {
 			"machine: only raising the bounds (bandwidth, pipes) helps further")
 	}
 
+	// Rank by model share plus measured corroboration; without an
+	// attribution ledger this degenerates to the pure model ranking.
 	sort.SliceStable(d.Findings, func(i, j int) bool {
-		return d.Findings[i].Share > d.Findings[j].Share
+		return d.Findings[i].Share+d.Findings[i].Measured > d.Findings[j].Share+d.Findings[j].Measured
 	})
 	return d
 }

@@ -17,6 +17,13 @@ import (
 // internal/experiments, which itself imports this package.)
 func diagnoseKernel(t *testing.T, id int) Diagnosis {
 	t.Helper()
+	return diagnoseKernelAttr(t, id, nil)
+}
+
+// diagnoseKernelAttr is diagnoseKernel with a measured stall-attribution
+// ledger supplied.
+func diagnoseKernelAttr(t *testing.T, id int, attr *vm.Attribution) Diagnosis {
+	t.Helper()
 	k, err := lfk.ByID(id)
 	if err != nil {
 		t.Fatal(err)
@@ -63,6 +70,7 @@ func diagnoseKernel(t *testing.T, id int) Diagnosis {
 		TA:       k.CPL(m.TA),
 		TX:       k.CPL(m.TX),
 		TMACSD:   core.MACSDBound(loop.Body, 128, core.DefaultRules()).CPL,
+		Attr:     attr,
 	})
 }
 
@@ -166,6 +174,86 @@ func TestAllKernelsProduceFindings(t *testing.T) {
 		d := diagnoseKernel(t, k.ID)
 		if len(d.Findings) == 0 {
 			t.Errorf("lfk%d: no findings at all", k.ID)
+		}
+	}
+}
+
+func TestMeasuredShareSynthetic(t *testing.T) {
+	// Chime-split dominates the pipes: 300 of 1000 cycles on each pipe.
+	var attr vm.Attribution
+	const cycles = 1000
+	for lane := 0; lane < vm.NumLanes; lane++ {
+		attr.Lanes[lane].Issue = 400
+		attr.Lanes[lane].Stalls[vm.StallDrain] = cycles - 400
+	}
+	for lane := vm.LaneASU + 1; lane < vm.NumLanes; lane++ {
+		attr.Lanes[lane].Stalls[vm.StallDrain] -= 300
+		attr.Lanes[lane].Stalls[vm.StallChimeSplit] = 300
+	}
+	if err := attr.Conserved(cycles); err != nil {
+		t.Fatal(err)
+	}
+	if got := measuredShare(&attr, CauseScalarSplit); got != 0.3 {
+		t.Errorf("measuredShare(scalar-split) = %v, want 0.3", got)
+	}
+	// No attribution counterpart, nil ledger and empty ledger all yield 0.
+	if got := measuredShare(&attr, CauseCompilerWork); got != 0 {
+		t.Errorf("measuredShare(compiler-work) = %v, want 0", got)
+	}
+	if got := measuredShare(nil, CauseScalarSplit); got != 0 {
+		t.Errorf("measuredShare(nil) = %v, want 0", got)
+	}
+	var empty vm.Attribution
+	if got := measuredShare(&empty, CauseScalarSplit); got != 0 {
+		t.Errorf("measuredShare(empty) = %v, want 0", got)
+	}
+}
+
+// runKernelAttr simulates one kernel and returns its stall attribution.
+func runKernelAttr(t *testing.T, id int) *vm.Attribution {
+	t.Helper()
+	k, err := lfk.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := lfk.Compile(k, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := c.Run(vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Attr.Conserved(st.Cycles); err != nil {
+		t.Fatal(err)
+	}
+	return &st.Attr
+}
+
+func TestDiagnosisWithMeasuredAttribution(t *testing.T) {
+	// LFK8's signature is scalar loads splitting chimes; with the run's
+	// ledger supplied the finding carries measured corroboration.
+	attr := runKernelAttr(t, 8)
+	d := diagnoseKernelAttr(t, 8, attr)
+	if !d.Has(CauseScalarSplit) {
+		t.Fatalf("LFK8 should report scalar-split chimes:\n%s", d)
+	}
+	for _, f := range d.Findings {
+		if f.Cause != CauseScalarSplit {
+			continue
+		}
+		if f.Measured <= 0 {
+			t.Errorf("scalar-split finding has no measured share: %+v", f)
+		}
+		if !strings.Contains(f.Detail, "[measured:") {
+			t.Errorf("detail lacks measured corroboration: %s", f.Detail)
+		}
+	}
+	// Ranking is monotone in Share+Measured.
+	for i := 1; i < len(d.Findings); i++ {
+		a, b := d.Findings[i-1], d.Findings[i]
+		if b.Share+b.Measured > a.Share+a.Measured {
+			t.Errorf("findings not ranked by share+measured: %+v", d.Findings)
 		}
 	}
 }

@@ -46,6 +46,9 @@ type KernelResult struct {
 	// A-process and X-process run times.
 	Cycles int64
 	AX     ax.Measurement
+	// Stats is the full simulator outcome of the single-process run,
+	// including the stall-attribution ledger (Stats.Attr).
+	Stats vm.Stats
 	// Validated records that the run's numerical output matched the Go
 	// reference implementation.
 	Validated bool
@@ -85,6 +88,7 @@ func RunKernel(k *lfk.Kernel, cfg Config) (KernelResult, error) {
 	}
 	res.Validated = true
 	res.Cycles = st.Cycles
+	res.Stats = st
 	res.AX, err = ax.Measure(c.Program, cfg.VM, func(cpu *vm.CPU) error {
 		return primeKernel(c, cpu)
 	})

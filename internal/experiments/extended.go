@@ -68,13 +68,15 @@ func DiagnoseAll(cfg Config) (map[int]advisor.Diagnosis, error) {
 		return nil, err
 	}
 	out := make(map[int]advisor.Diagnosis, len(results))
-	for _, r := range results {
+	for i := range results {
+		r := &results[i]
 		k := r.Kernel
 		out[k.ID] = advisor.Diagnose(advisor.Inputs{
 			Analysis: r.Analysis,
 			TP:       k.CPL(r.AX.TP),
 			TA:       k.CPL(r.AX.TA),
 			TX:       k.CPL(r.AX.TX),
+			Attr:     &r.Stats.Attr,
 		})
 	}
 	return out, nil

@@ -49,20 +49,37 @@ func (b *BankModel) Access(addr, now int64) int64 {
 // at cycle start. It is a pure function of the model configuration; it
 // does not disturb the model's bank state.
 func (b *BankModel) StreamStall(start int64, base int64, strideBytes int64, n int) int64 {
+	bank, refresh := b.StreamStallParts(start, base, strideBytes, n)
+	return bank + refresh
+}
+
+// StreamStallParts is StreamStall with the stall decomposed by mechanism:
+// cycles spent waiting for a busy bank versus cycles spent waiting out
+// refresh windows (bankStall + refreshStall == StreamStall). Like
+// StreamStall it probes a private copy of the bank state.
+func (b *BankModel) StreamStallParts(start, base, strideBytes int64, n int) (bankStall, refreshStall int64) {
 	if n <= 0 {
-		return 0
+		return 0, 0
 	}
 	probe := NewBankModel(b.cfg)
 	t := start
-	var stall int64
 	addr := base
 	for i := 0; i < n; i++ {
-		at := probe.Access(addr, t)
-		stall += at - t
+		// Access decomposed: first wait for the bank to go idle, then for
+		// the next refresh-free cycle.
+		bank := b.cfg.BankOf(addr)
+		bt := t
+		if probe.busyUntil[bank] > bt {
+			bt = probe.busyUntil[bank]
+		}
+		at := b.cfg.NextFree(bt)
+		bankStall += bt - t
+		refreshStall += at - bt
+		probe.busyUntil[bank] = at + int64(b.cfg.BankCycle)
 		t = at + 1 // next element wants to go the following cycle
 		addr += strideBytes
 	}
-	return stall
+	return bankStall, refreshStall
 }
 
 // Stream performs a timed n-element access stream against the model,

@@ -39,6 +39,7 @@ func DefaultConfig() Config {
 type Memory struct {
 	bytes   []byte
 	symbols map[string]int64
+	sizes   map[string]int64
 	next    int64
 }
 
@@ -47,6 +48,7 @@ func New(size int64) *Memory {
 	return &Memory{
 		bytes:   make([]byte, size),
 		symbols: make(map[string]int64),
+		sizes:   make(map[string]int64),
 		next:    64, // keep address 0 unmapped to catch null dereferences
 	}
 }
@@ -58,17 +60,23 @@ func (m *Memory) Size() int64 { return int64(len(m.bytes)) }
 // its base address. Allocating an existing name returns the existing base
 // (sizes must then match).
 func (m *Memory) Alloc(name string, size int64) (int64, error) {
-	if addr, ok := m.symbols[name]; ok {
-		return addr, nil
-	}
 	if size < 0 {
 		return 0, fmt.Errorf("mem: negative size for %q", name)
 	}
+	if addr, ok := m.symbols[name]; ok {
+		if prev := m.sizes[name]; prev != size {
+			return 0, fmt.Errorf("mem: symbol %q re-allocated with size %d (was %d)", name, size, prev)
+		}
+		return addr, nil
+	}
 	addr := (m.next + 7) &^ 7
-	if addr+size > int64(len(m.bytes)) {
+	// addr > len-size rather than addr+size > len: the latter overflows
+	// int64 for huge sizes and would wrap to a false pass.
+	if size > int64(len(m.bytes)) || addr > int64(len(m.bytes))-size {
 		return 0, fmt.Errorf("mem: out of memory allocating %q (%d bytes)", name, size)
 	}
 	m.symbols[name] = addr
+	m.sizes[name] = size
 	m.next = addr + size
 	return addr, nil
 }
@@ -80,7 +88,9 @@ func (m *Memory) SymbolAddr(name string) (int64, bool) {
 }
 
 func (m *Memory) check(addr int64, n int64) error {
-	if addr < 0 || addr+n > int64(len(m.bytes)) {
+	// addr > len-n rather than addr+n > len: avoids int64 overflow near
+	// the top of the address space.
+	if addr < 0 || n < 0 || n > int64(len(m.bytes)) || addr > int64(len(m.bytes))-n {
 		return fmt.Errorf("mem: access at %d (+%d) out of range [0,%d)", addr, n, len(m.bytes))
 	}
 	return nil
@@ -133,20 +143,30 @@ func (cfg Config) BankOf(addr int64) int {
 }
 
 // InRefresh reports whether the given cycle falls inside a refresh window.
+// Negative cycles are treated on the same periodic schedule (the phase is
+// normalized into [0, RefreshPeriod)).
 func (cfg Config) InRefresh(cycle int64) bool {
 	if !cfg.RefreshEnabled || cfg.RefreshPeriod <= 0 {
 		return false
 	}
-	return cycle%int64(cfg.RefreshPeriod) < int64(cfg.RefreshLen)
+	off := cycle % int64(cfg.RefreshPeriod)
+	if off < 0 {
+		off += int64(cfg.RefreshPeriod)
+	}
+	return off < int64(cfg.RefreshLen)
 }
 
 // NextFree returns the first cycle at or after now that is outside any
-// refresh window.
+// refresh window. Negative cycles follow the same normalized schedule.
 func (cfg Config) NextFree(now int64) int64 {
 	if !cfg.RefreshEnabled || cfg.RefreshPeriod <= 0 {
 		return now
 	}
-	if off := now % int64(cfg.RefreshPeriod); off < int64(cfg.RefreshLen) {
+	off := now % int64(cfg.RefreshPeriod)
+	if off < 0 {
+		off += int64(cfg.RefreshPeriod)
+	}
+	if off < int64(cfg.RefreshLen) {
 		return now + int64(cfg.RefreshLen) - off
 	}
 	return now

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -43,6 +44,101 @@ func TestAllocOutOfMemory(t *testing.T) {
 	}
 	if _, err := m.Alloc("neg", -1); err == nil {
 		t.Error("negative Alloc should fail")
+	}
+}
+
+func TestAllocSizeMismatch(t *testing.T) {
+	m := New(1 << 16)
+	if _, err := m.Alloc("x", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc("x", 2048); err == nil {
+		t.Error("re-Alloc with different size should fail")
+	}
+	if _, err := m.Alloc("x", -1); err == nil {
+		t.Error("re-Alloc with negative size should fail")
+	}
+	if _, err := m.Alloc("x", 1024); err != nil {
+		t.Errorf("re-Alloc with matching size should succeed: %v", err)
+	}
+}
+
+func TestAllocOverflowGuard(t *testing.T) {
+	m := New(1 << 12)
+	// A size near MaxInt64 must not wrap addr+size past the bound check.
+	if _, err := m.Alloc("huge", math.MaxInt64-32); err == nil {
+		t.Error("near-MaxInt64 Alloc should fail, not overflow")
+	}
+}
+
+func TestCheckOverflowGuard(t *testing.T) {
+	m := New(1 << 12)
+	// addr near MaxInt64 plus the 8-byte access width must not wrap.
+	if _, err := m.ReadF64(math.MaxInt64 - 4); err == nil {
+		t.Error("near-MaxInt64 read should fail, not overflow")
+	}
+	if err := m.WriteF64(math.MaxInt64-4, 1); err == nil {
+		t.Error("near-MaxInt64 write should fail, not overflow")
+	}
+}
+
+func TestRefreshNegativeCycles(t *testing.T) {
+	cfg := DefaultConfig()
+	// Negative cycles follow the same periodic schedule: -400 and -396 are
+	// in the window that spans [-400, -392); -390 is not.
+	if !cfg.InRefresh(-400) || !cfg.InRefresh(-396) {
+		t.Error("cycles -400 and -396 are inside a refresh window")
+	}
+	if cfg.InRefresh(-390) {
+		t.Error("cycle -390 is outside refresh")
+	}
+	if got := cfg.NextFree(-396); got != -392 {
+		t.Errorf("NextFree(-396) = %d, want -392", got)
+	}
+	if got := cfg.NextFree(-390); got != -390 {
+		t.Errorf("NextFree(-390) = %d, want -390", got)
+	}
+	// NextFree never goes backwards.
+	for _, c := range []int64{-801, -400, -399, -8, -1, 0, 7, 8} {
+		if got := cfg.NextFree(c); got < c {
+			t.Errorf("NextFree(%d) = %d went backwards", c, got)
+		}
+	}
+}
+
+func TestStreamStallPartsSumToStall(t *testing.T) {
+	cfg := DefaultConfig()
+	b := NewBankModel(cfg)
+	cases := []struct {
+		start, base, stride int64
+		n                   int
+	}{
+		{0, 0, 8, 128},
+		{390, 0, 32 * 8, 64}, // same-bank stream crossing a refresh
+		{0, 64, 8 * 8, 128},  // 4-cycle bank revisit
+		{1234, 8, 40, 200},   // odd stride
+		{0, 0, 8, 0},         // empty stream
+	}
+	for _, tt := range cases {
+		bank, refresh := b.StreamStallParts(tt.start, tt.base, tt.stride, tt.n)
+		if bank < 0 || refresh < 0 {
+			t.Errorf("StreamStallParts(%+v) negative parts: %d, %d", tt, bank, refresh)
+		}
+		if sum, want := bank+refresh, b.StreamStall(tt.start, tt.base, tt.stride, tt.n); sum != want {
+			t.Errorf("StreamStallParts(%+v) sum = %d, want StreamStall %d", tt, sum, want)
+		}
+	}
+	// With refresh on and a same-bank stride the refresh component is
+	// nonzero when the stream crosses a window.
+	_, refresh := b.StreamStallParts(390, 0, 32*8, 64)
+	if refresh <= 0 {
+		t.Error("stream crossing refresh window should attribute refresh stall")
+	}
+	cfgOff := cfg
+	cfgOff.RefreshEnabled = false
+	bOff := NewBankModel(cfgOff)
+	if _, r := bOff.StreamStallParts(390, 0, 32*8, 64); r != 0 {
+		t.Errorf("refresh disabled should attribute 0 refresh stall, got %d", r)
 	}
 }
 

@@ -218,6 +218,48 @@ func Timeline(events []vm.TraceEvent, width int) string {
 	return b.String()
 }
 
+// AttributionTable renders a run's stall-attribution ledger as a table:
+// one row per cycle class (issue plus each nonzero stall cause), one
+// column per lane (ASU and the three VP pipes), a lane-summed total and
+// its share of all accounted lane-cycles. With a conserved ledger every
+// column sums to Stats.Cycles.
+func AttributionTable(st vm.Stats) string {
+	lanes := []int{vm.LaneASU, int(isa.PipeLoadStore), int(isa.PipeAdd), int(isa.PipeMul)}
+	grand := float64(int64(vm.NumLanes) * st.Cycles)
+	row := func(name string, get func(l vm.LaneAttribution) int64) []string {
+		cells := []string{name}
+		var sum int64
+		for _, lane := range lanes {
+			v := get(st.Attr.Lanes[lane])
+			sum += v
+			cells = append(cells, fmt.Sprintf("%d", v))
+		}
+		cells = append(cells, fmt.Sprintf("%d", sum))
+		if grand > 0 {
+			cells = append(cells, pct(float64(sum)/grand))
+		} else {
+			cells = append(cells, pct(0))
+		}
+		return cells
+	}
+	rows := [][]string{row("issue", func(l vm.LaneAttribution) int64 { return l.Issue })}
+	for _, c := range vm.StallCauses() {
+		c := c
+		if st.Attr.Cause(c) == 0 {
+			continue
+		}
+		rows = append(rows, row(c.String(), func(l vm.LaneAttribution) int64 { return l.Stalls[c] }))
+	}
+	rows = append(rows, row("total", func(l vm.LaneAttribution) int64 { return l.Total() }))
+	headers := []string{"cycles"}
+	for _, lane := range lanes {
+		headers = append(headers, vm.LaneName(lane))
+	}
+	headers = append(headers, "all lanes", "share")
+	return Render(fmt.Sprintf("Stall attribution (%d cycles; per-lane issue + stalls = total)", st.Cycles),
+		headers, rows)
+}
+
 // Extended renders the extension table: plain vs extended vs
 // decomposition-aware bounds against measured CPL.
 func Extended(rows []experiments.ExtendedRow) string {

@@ -7,6 +7,7 @@ import (
 	"macs/internal/calib"
 	"macs/internal/experiments"
 	"macs/internal/isa"
+	"macs/internal/vm"
 )
 
 func TestRender(t *testing.T) {
@@ -151,5 +152,28 @@ func TestTimelineRendering(t *testing.T) {
 	}
 	if Timeline(nil, 40) != "" {
 		t.Error("empty timeline should render empty")
+	}
+}
+
+func TestAttributionTableRendering(t *testing.T) {
+	var st vm.Stats
+	st.Cycles = 100
+	for lane := 0; lane < vm.NumLanes; lane++ {
+		st.Attr.Lanes[lane].Issue = 60
+		st.Attr.Lanes[lane].Stalls[vm.StallStartup] = 10
+		st.Attr.Lanes[lane].Stalls[vm.StallDrain] = 30
+	}
+	out := AttributionTable(st)
+	for _, want := range []string{"issue", "startup", "drain", "asu", "load/store", "total", "100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("attribution table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "bank-conflict") {
+		t.Errorf("zero cause should be omitted:\n%s", out)
+	}
+	// total row share is 100% of accounted lane-cycles.
+	if !strings.Contains(out, "100.0%") {
+		t.Errorf("conserved ledger should show 100.0%% total share:\n%s", out)
 	}
 }

@@ -180,3 +180,75 @@ func TestHTTPLFK(t *testing.T) {
 		t.Fatalf("lfk/abc status = %d; want 400", resp.StatusCode)
 	}
 }
+
+func TestHTTPPayloadTooLarge(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+	// A body over maxBodyBytes must come back as 413, not 400.
+	big := `{"source":"` + strings.Repeat("C", maxBodyBytes+1) + `"}`
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status = %d; want 413", resp.StatusCode)
+	}
+	// A small malformed body is still a plain 400.
+	resp2, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status = %d; want 400", resp2.StatusCode)
+	}
+}
+
+func TestHTTPAnalyzeAttribution(t *testing.T) {
+	s, srv := newTestServer(t, Config{Workers: 2, QueueSize: 8})
+	req := AnalyzeRequest{Source: saxpySrc, Iterations: 2048,
+		Prime: Priming{Ints: map[string]int64{"N": 2048}, Reals: map[string]float64{"A": 1.5}}}
+	resp := postJSON(t, srv.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status = %d", resp.StatusCode)
+	}
+	r := decode[AnalyzeResponse](t, resp)
+	if len(r.Attribution) == 0 {
+		t.Fatal("analyze response has empty attribution breakdown")
+	}
+	// The lane-summed ledger is conserved: it covers 4 lanes x Cycles.
+	var sum int64
+	for _, v := range r.Attribution {
+		sum += v
+	}
+	if want := 4 * r.Cycles; sum != want {
+		t.Errorf("attribution sum = %d, want 4*cycles = %d", sum, want)
+	}
+	if r.Attribution["issue"] == 0 {
+		t.Error("attribution missing issue cycles")
+	}
+	// Refresh runs 8 of every 400 cycles: its share of run time on a long
+	// memory-streaming kernel sits near that 2% duty cycle.
+	share := float64(r.Attribution["refresh"]) / float64(r.Cycles)
+	if share < 0.005 || share > 0.04 {
+		t.Errorf("refresh share = %.4f of cycles, want ~0.02", share)
+	}
+	// The aggregate counters on /metrics saw the same run.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decode[Snapshot](t, mresp)
+	if m.StallCycles["refresh"] != r.Attribution["refresh"] {
+		t.Errorf("metrics stall_cycles[refresh] = %d, want %d", m.StallCycles["refresh"], r.Attribution["refresh"])
+	}
+	// A cache hit must not double-count the aggregate.
+	resp2 := postJSON(t, srv.URL+"/v1/analyze", req)
+	r2 := decode[AnalyzeResponse](t, resp2)
+	if !r2.Cached {
+		t.Fatal("second identical request missed the cache")
+	}
+	if got := s.stallCycles()["refresh"]; got != r.Attribution["refresh"] {
+		t.Errorf("cache hit inflated stall_cycles[refresh]: %d vs %d", got, r.Attribution["refresh"])
+	}
+}

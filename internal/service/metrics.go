@@ -100,6 +100,9 @@ type Snapshot struct {
 	// PipelineRuns counts actual executions of the underlying analysis
 	// pipeline (cache misses that ran to completion or error).
 	PipelineRuns int64 `json:"pipeline_runs"`
+	// StallCycles aggregates simulated cycle attribution by cause (issue
+	// cycles under "issue") over every fresh pipeline run.
+	StallCycles map[string]int64 `json:"stall_cycles"`
 }
 
 // snapshotEndpoints renders the per-endpoint section.

@@ -111,19 +111,52 @@ type Service struct {
 
 	dedupShared  atomic.Int64
 	pipelineRuns atomic.Int64
+
+	// attrMu guards attrTotals, the service-wide aggregate of simulated
+	// stall-attribution cycles by cause (plus "issue"), summed over every
+	// fresh pipeline run and surfaced on /metrics.
+	attrMu     sync.Mutex
+	attrTotals map[string]int64
 }
 
 // New builds a Service and starts its worker pool.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:     cfg,
-		pool:    NewPool(cfg.Workers, cfg.QueueSize),
-		cache:   NewCache(cfg.CacheSize),
-		metrics: NewMetrics(),
-		log:     cfg.Logger,
-		flights: make(map[Key]*flight),
+		cfg:        cfg,
+		pool:       NewPool(cfg.Workers, cfg.QueueSize),
+		cache:      NewCache(cfg.CacheSize),
+		metrics:    NewMetrics(),
+		log:        cfg.Logger,
+		flights:    make(map[Key]*flight),
+		attrTotals: make(map[string]int64),
 	}
+}
+
+// recordAttr merges one run's lane-summed stall attribution into the
+// service-wide totals. Only fresh pipeline runs call it, so cache hits do
+// not inflate the counters.
+func (s *Service) recordAttr(a macs.Attribution) {
+	totals := a.Totals()
+	if len(totals) == 0 {
+		return
+	}
+	s.attrMu.Lock()
+	for k, v := range totals {
+		s.attrTotals[k] += v
+	}
+	s.attrMu.Unlock()
+}
+
+// stallCycles snapshots the aggregate attribution counters.
+func (s *Service) stallCycles() map[string]int64 {
+	s.attrMu.Lock()
+	defer s.attrMu.Unlock()
+	out := make(map[string]int64, len(s.attrTotals))
+	for k, v := range s.attrTotals {
+		out[k] = v
+	}
+	return out
 }
 
 // Close drains the service: no new work is accepted and every queued and
@@ -139,6 +172,7 @@ func (s *Service) Metrics() Snapshot {
 		Queue:         s.pool.Stats(),
 		DedupShared:   s.dedupShared.Load(),
 		PipelineRuns:  s.pipelineRuns.Load(),
+		StallCycles:   s.stallCycles(),
 	}
 }
 
@@ -332,6 +366,10 @@ type AnalyzeResponse struct {
 	Iterations  int64      `json:"iterations"`
 	Stats       macs.Stats `json:"stats"`
 	Report      string     `json:"report"`
+	// Attribution is the run's lane-summed stall attribution by cause
+	// (issue cycles under "issue"); a conserved ledger sums to
+	// 4 lanes × Cycles.
+	Attribution map[string]int64 `json:"attribution,omitempty"`
 	// Cached reports whether this response was served from the result
 	// cache rather than a fresh pipeline execution.
 	Cached bool `json:"cached"`
@@ -350,6 +388,7 @@ func (s *Service) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeRespo
 		if err != nil {
 			return nil, err
 		}
+		s.recordAttr(res.Stats.Attr)
 		return &AnalyzeResponse{
 			Bounds:      boundsView(res.Analysis),
 			MeasuredCPL: res.MeasuredCPL,
@@ -357,6 +396,7 @@ func (s *Service) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeRespo
 			Iterations:  res.Iterations,
 			Stats:       res.Stats,
 			Report:      res.Report(),
+			Attribution: res.Stats.Attr.Totals(),
 		}, nil
 	})
 	s.observe("analyze", start, cached, err)
@@ -457,7 +497,10 @@ type LFKResponse struct {
 	TX        float64    `json:"t_x"`
 	Validated bool       `json:"validated"`
 	Diagnosis string     `json:"diagnosis"`
-	Cached    bool       `json:"cached"`
+	// Attribution is the measured run's lane-summed stall attribution by
+	// cause (issue cycles under "issue").
+	Attribution map[string]int64 `json:"attribution,omitempty"`
+	Cached      bool             `json:"cached"`
 }
 
 // LFK runs (or recalls) the full case-study pipeline for one kernel id.
@@ -485,16 +528,19 @@ func (s *Service) LFK(ctx context.Context, id int) (LFKResponse, error) {
 			TP:       k.CPL(r.AX.TP),
 			TA:       k.CPL(r.AX.TA),
 			TX:       k.CPL(r.AX.TX),
+			Attr:     &r.Stats.Attr,
 		})
+		s.recordAttr(r.Stats.Attr)
 		return &LFKResponse{
-			ID:        k.ID,
-			Name:      k.Name,
-			Bounds:    boundsView(r.Analysis),
-			TP:        k.CPL(r.Cycles),
-			TA:        k.CPL(r.AX.TA),
-			TX:        k.CPL(r.AX.TX),
-			Validated: r.Validated,
-			Diagnosis: diag.String(),
+			ID:          k.ID,
+			Name:        k.Name,
+			Bounds:      boundsView(r.Analysis),
+			TP:          k.CPL(r.Cycles),
+			TA:          k.CPL(r.AX.TA),
+			TX:          k.CPL(r.AX.TX),
+			Validated:   r.Validated,
+			Diagnosis:   diag.String(),
+			Attribution: r.Stats.Attr.Totals(),
 		}, nil
 	})
 	s.observe("lfk", start, cached, err)

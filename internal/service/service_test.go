@@ -226,3 +226,138 @@ func TestAnalyzeCompileErrorNotCached(t *testing.T) {
 		t.Fatalf("cache holds %d entries after failures; want 0", got)
 	}
 }
+
+// TestSingleflightLateWaiterAfterLeaderTimeout drives the edge where the
+// leader's context expires while its job is still queued and another
+// request attaches to the abandoned flight afterwards: the late waiter
+// must observe a result or an error — never hang — and PipelineRuns must
+// stay consistent with what actually executed.
+func TestSingleflightLateWaiterAfterLeaderTimeout(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueSize: 8})
+
+	// Occupy the single worker so the leader's job cannot start.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := s.pool.Submit(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	req := AnalyzeRequest{Source: saxpySrc}
+	lctx, lcancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer lcancel()
+	if _, err := s.Analyze(lctx, req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("leader error = %v, want deadline exceeded", err)
+	}
+
+	// The leader was the only waiter, so its departure cancelled the
+	// flight while the job sits in the queue. Attach a late waiter.
+	waiterErr := make(chan error, 1)
+	var waiterResp AnalyzeResponse
+	go func() {
+		wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer wcancel()
+		r, err := s.Analyze(wctx, req)
+		waiterResp = r
+		waiterErr <- err
+	}()
+
+	// Let the waiter attach (or lead a fresh flight — both are legal
+	// interleavings), then free the worker.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	select {
+	case err := <-waiterErr:
+		runs := s.PipelineRuns()
+		switch {
+		case err == nil:
+			// The waiter led (or re-led) a live flight and got a result.
+			if waiterResp.Cycles <= 0 {
+				t.Errorf("waiter result implausible: %+v", waiterResp)
+			}
+			if runs != 1 {
+				t.Errorf("pipeline ran %d times; want 1", runs)
+			}
+		case errors.Is(err, context.Canceled):
+			// The waiter attached to the abandoned flight and saw its
+			// cancellation; nothing executed.
+			if runs != 0 {
+				t.Errorf("cancelled flight but pipeline ran %d times", runs)
+			}
+		default:
+			t.Errorf("waiter error = %v, want nil or context.Canceled", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("late waiter hung")
+	}
+
+	// The service must still be fully usable: a fresh request succeeds.
+	r, err := s.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 {
+		t.Fatalf("post-edge analyze implausible: %+v", r)
+	}
+}
+
+// TestSingleflightWaiterAttachedBeforeLeaderTimeout covers the sibling
+// interleaving: a second waiter attaches while the leader is still
+// waiting, the leader then times out, and the surviving waiter keeps the
+// flight alive to completion.
+func TestSingleflightWaiterAttachedBeforeLeaderTimeout(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueSize: 8})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := s.pool.Submit(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	req := AnalyzeRequest{Source: saxpySrc}
+	leaderErr := make(chan error, 1)
+	lctx, lcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer lcancel()
+	go func() {
+		_, err := s.Analyze(lctx, req)
+		leaderErr <- err
+	}()
+
+	// Attach the second waiter while the leader is still queued.
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.flights) == 1
+	})
+	waiterErr := make(chan error, 1)
+	go func() {
+		wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer wcancel()
+		_, err := s.Analyze(wctx, req)
+		waiterErr <- err
+	}()
+	waitFor(t, func() bool { return s.dedupShared.Load() == 1 })
+
+	if err := <-leaderErr; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("leader error = %v, want deadline exceeded", err)
+	}
+	close(release)
+	select {
+	case err := <-waiterErr:
+		if err != nil {
+			t.Fatalf("surviving waiter error = %v, want result", err)
+		}
+		if got := s.PipelineRuns(); got != 1 {
+			t.Errorf("pipeline ran %d times; want 1", got)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("surviving waiter hung")
+	}
+}

@@ -56,6 +56,11 @@ type Config struct {
 	MaxInstrs int64
 	// Trace records per-vector-instruction timing events (Figure 2).
 	Trace bool
+	// TraceRing, when > 0 and Trace is off, records the most recent
+	// TraceRing vector timing events in a bounded ring buffer — cheap
+	// always-on tracing for long runs. Retrieve with CPU.TraceEvents,
+	// export with ChromeTrace.
+	TraceRing int
 }
 
 // DefaultConfig returns the standard C-240 configuration.
@@ -91,6 +96,11 @@ type Stats struct {
 	// PipeBusy accumulates input-side streaming cycles per VP pipe
 	// (indexed by isa.Pipe); divide by Cycles for utilization.
 	PipeBusy [4]int64
+	// Attr is the per-lane stall-attribution ledger: for every lane (the
+	// ASU plus the three VP pipes) issue cycles plus attributed stall
+	// cycles exactly equal Cycles once the run finishes (conservation;
+	// see Attribution.Conserved).
+	Attr Attribution
 }
 
 // Utilization returns the fraction of the run each pipe spent streaming.

@@ -61,6 +61,12 @@ type CPU struct {
 
 	stats Stats
 	trace []TraceEvent
+	ring  *traceRing
+
+	// Attribution state: per-lane accounted frontiers (see attr.go) and
+	// whether the chime that set prevGate was closed by the split rule.
+	laneTime      [NumLanes]int64
+	prevGateSplit bool
 }
 
 // New creates a CPU with the given configuration.
@@ -77,6 +83,9 @@ func New(cfg Config) *CPU {
 	}
 	c.bankCfg = mem.DefaultConfig()
 	c.bankCfg.RefreshEnabled = cfg.RefreshStalls
+	if !cfg.Trace && cfg.TraceRing > 0 {
+		c.ring = newTraceRing(cfg.TraceRing)
+	}
 	return c
 }
 
@@ -189,8 +198,15 @@ func (c *CPU) finish() {
 		return
 	}
 	c.finished = true
-	c.closeChime()
+	c.closeChime(false)
 	c.stats.Cycles = maxI64(c.clock, c.maxEvent, c.prevGate)
+	// Conservation: top every lane's ledger up to the final cycle count.
+	// What remains unaccounted at this point is drain — trailing time a
+	// lane spent with no work left (or, for an unused pipe, the whole
+	// run).
+	for lane := 0; lane < NumLanes; lane++ {
+		c.chargeStall(lane, c.stats.Cycles, StallDrain)
+	}
 }
 
 // Clock returns the ASU's current time in cycles (advances as the
@@ -282,6 +298,7 @@ func (c *CPU) floatVal(o isa.Operand) (float64, error) {
 func (c *CPU) waitScalar(r isa.Reg) {
 	if r.Class == isa.ClassS && c.sReady[r.N] > c.clock {
 		c.clock = c.sReady[r.N]
+		c.chargeStall(LaneASU, c.clock, StallChain)
 	}
 }
 
@@ -314,13 +331,13 @@ func (c *CPU) setFloatReg(r isa.Reg, v float64) error {
 func (c *CPU) execScalar(in isa.Instr) (jumped bool, err error) {
 	switch in.Op {
 	case isa.OpNop:
-		c.clock += int64(c.cfg.ScalarOpLat)
+		c.tickASU(int64(c.cfg.ScalarOpLat))
 		return false, nil
 	case isa.OpMov:
 		if len(in.Ops) != 2 {
 			return false, fmt.Errorf("mov needs 2 operands")
 		}
-		c.clock += int64(c.cfg.ScalarOpLat)
+		c.tickASU(int64(c.cfg.ScalarOpLat))
 		dst := in.Ops[1].Reg
 		if in.Suffix == isa.SufD && dst.Class == isa.ClassS && in.Ops[0].Kind == isa.KindReg && in.Ops[0].Reg.Class == isa.ClassS {
 			c.waitScalar(in.Ops[0].Reg)
@@ -341,14 +358,14 @@ func (c *CPU) execScalar(in isa.Instr) (jumped bool, err error) {
 	case isa.OpLe, isa.OpLt, isa.OpGt, isa.OpGe, isa.OpEq, isa.OpNe:
 		return false, c.scalarCompare(in)
 	case isa.OpJmp:
-		c.clock += int64(c.cfg.ScalarOpLat + c.cfg.BranchPenalty)
+		c.tickASU(int64(c.cfg.ScalarOpLat + c.cfg.BranchPenalty))
 		// A control transfer ends the forming chime: the ASU cannot keep
 		// filling a chime past a branch (the bound's per-iteration chime
 		// partition relies on this).
-		c.closeChime()
+		c.closeChime(false)
 		return true, c.jumpTo(in)
 	case isa.OpJbrs:
-		c.clock += int64(c.cfg.ScalarOpLat)
+		c.tickASU(int64(c.cfg.ScalarOpLat))
 		take := c.tf
 		if in.Suffix == isa.SufF {
 			take = !take
@@ -356,8 +373,8 @@ func (c *CPU) execScalar(in isa.Instr) (jumped bool, err error) {
 		if !take {
 			return false, nil
 		}
-		c.clock += int64(c.cfg.BranchPenalty)
-		c.closeChime()
+		c.tickASU(int64(c.cfg.BranchPenalty))
+		c.closeChime(false)
 		return true, c.jumpTo(in)
 	case isa.OpSum, isa.OpSqrt, isa.OpCvt:
 		return false, fmt.Errorf("%s has no scalar form in this subset", in.Op)
@@ -386,9 +403,10 @@ func (c *CPU) scalarMemStart() int64 {
 	if c.vectorPortFree > start {
 		start = c.vectorPortFree
 		c.stats.PortConflicts++
+		c.chargeStall(LaneASU, start, StallPortArb)
 	}
 	if c.builder.NoteScalarMem() {
-		c.closeChime()
+		c.closeChime(true)
 	}
 	return start
 }
@@ -411,6 +429,7 @@ func (c *CPU) scalarLoad(in isa.Instr) error {
 	}
 	start := c.scalarMemStart()
 	c.clock = start + c.scalarMemLat()
+	c.chargeIssue(LaneASU, c.clock)
 	c.scalarPortFree = c.clock
 	dst := in.Ops[1].Reg
 	switch dst.Class {
@@ -443,6 +462,7 @@ func (c *CPU) scalarStore(in isa.Instr) error {
 	}
 	start := c.scalarMemStart()
 	c.clock = start + c.scalarMemLat()
+	c.chargeIssue(LaneASU, c.clock)
 	c.scalarPortFree = c.clock
 	src := in.Ops[0].Reg
 	switch src.Class {
@@ -456,7 +476,7 @@ func (c *CPU) scalarStore(in isa.Instr) error {
 }
 
 func (c *CPU) scalarALU(in isa.Instr) error {
-	c.clock += int64(c.cfg.ScalarOpLat)
+	c.tickASU(int64(c.cfg.ScalarOpLat))
 	// Two-operand form: dst = dst OP src (e.g. add.w #1024,a5).
 	// Three-operand form: dst = src1 OP src2.
 	var dst isa.Reg
@@ -586,7 +606,7 @@ func (c *CPU) scalarCompare(in isa.Instr) error {
 	if len(in.Ops) != 2 {
 		return fmt.Errorf("compare needs 2 operands")
 	}
-	c.clock += int64(c.cfg.ScalarOpLat)
+	c.tickASU(int64(c.cfg.ScalarOpLat))
 	var cmp int
 	if in.Suffix == isa.SufD || in.Suffix == isa.SufS {
 		x, err := c.floatVal(in.Ops[0])

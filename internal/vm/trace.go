@@ -1,0 +1,130 @@
+package vm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"macs/internal/isa"
+)
+
+// traceRing is a bounded ring buffer of TraceEvents: cheap always-on
+// tracing for long runs, keeping only the most recent events.
+type traceRing struct {
+	buf     []TraceEvent
+	pos     int
+	full    bool
+	dropped int64
+}
+
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{buf: make([]TraceEvent, 0, capacity)}
+}
+
+func (r *traceRing) push(e TraceEvent) {
+	if cap(r.buf) == 0 {
+		r.dropped++
+		return
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.full = true
+	r.dropped++
+	r.buf[r.pos] = e
+	r.pos = (r.pos + 1) % cap(r.buf)
+}
+
+// events returns the buffered events oldest-first.
+func (r *traceRing) events() []TraceEvent {
+	if !r.full {
+		return append([]TraceEvent(nil), r.buf...)
+	}
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.pos:]...)
+	out = append(out, r.buf[:r.pos]...)
+	return out
+}
+
+// TraceEvents returns the recorded vector timing events oldest-first: the
+// unbounded trace when Config.Trace is set, otherwise the contents of the
+// bounded ring buffer (Config.TraceRing), otherwise nil.
+func (c *CPU) TraceEvents() []TraceEvent {
+	if c.cfg.Trace {
+		return c.trace
+	}
+	if c.ring != nil {
+		return c.ring.events()
+	}
+	return nil
+}
+
+// TraceDropped reports how many events the bounded ring buffer discarded
+// (0 when tracing is unbounded or disabled).
+func (c *CPU) TraceDropped() int64 {
+	if c.ring == nil {
+		return 0
+	}
+	return c.ring.dropped
+}
+
+// chromeEvent is one entry of the Chrome trace_event format ("X" complete
+// events plus "M" metadata events naming the pipe rows).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   int64          `json:"ts,omitempty"`
+	Dur  int64          `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders vector timing events as a Chrome trace_event JSON
+// document (load it in chrome://tracing or Perfetto): one row per VP pipe,
+// one complete event per vector instruction spanning stream entry to last
+// element, with chime, VL and stall cycles in the args. Timestamps are in
+// clock cycles (displayed as microseconds by the viewer).
+func ChromeTrace(events []TraceEvent) ([]byte, error) {
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	used := map[int]bool{}
+	for _, e := range events {
+		used[int(e.Instr.Pipe())] = true
+	}
+	for _, p := range []isa.Pipe{isa.PipeLoadStore, isa.PipeAdd, isa.PipeMul} {
+		if !used[int(p)] {
+			continue
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: int(p),
+			Args: map[string]any{"name": fmt.Sprintf("%s pipe", p)},
+		})
+	}
+	for _, e := range events {
+		dur := e.Finish - e.Start
+		if dur <= 0 {
+			dur = 1
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: e.Instr.String(),
+			Ph:   "X",
+			PID:  0,
+			TID:  int(e.Instr.Pipe()),
+			TS:   e.Start,
+			Dur:  dur,
+			Args: map[string]any{
+				"chime":        e.Chime,
+				"vl":           e.VL,
+				"stall":        e.Stall,
+				"dispatch":     e.Dispatch,
+				"first_result": e.FirstResult,
+			},
+		})
+	}
+	return json.MarshalIndent(doc, "", " ")
+}

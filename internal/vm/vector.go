@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"macs/internal/isa"
 	"macs/internal/mem"
@@ -11,8 +12,10 @@ import (
 // closeChime retires the forming chime: it fixes the gate time before
 // which the next chime may not start streaming (the chime-synchronized
 // serialization the paper's calibration loops observe) and bounds ASU
-// runahead to one chime.
-func (c *CPU) closeChime() {
+// runahead to one chime. split records whether the close was forced by
+// the scalar-memory split rule, so gate waits behind this chime can be
+// attributed to the split rather than ordinary chime serialization.
+func (c *CPU) closeChime(split bool) {
 	cur, ok := c.builder.Flush()
 	if !ok {
 		c.chimeMemStall = 0
@@ -24,6 +27,7 @@ func (c *CPU) closeChime() {
 		cost += float64(cur.SumB)
 	}
 	c.prevGate = c.chimeStart + int64(math.Ceil(cost)) + c.chimeMemStall
+	c.prevGateSplit = split
 	if c.prevGate > c.maxEvent {
 		c.maxEvent = c.prevGate
 	}
@@ -31,6 +35,11 @@ func (c *CPU) closeChime() {
 	if c.clock < c.lastChimeStart {
 		// The ASU cannot run more than one chime ahead of the VP.
 		c.clock = c.lastChimeStart
+		cause := StallChimeSync
+		if split {
+			cause = StallChimeSplit
+		}
+		c.chargeStall(LaneASU, c.clock, cause)
 	}
 	c.chimeID++
 	c.chimeMemStall = 0
@@ -51,6 +60,7 @@ func (c *CPU) execVector(in isa.Instr) error {
 		}
 	}
 	c.clock += int64(c.cfg.DispatchLat)
+	c.chargeIssue(LaneASU, c.clock)
 	dispatchDone := c.clock
 
 	vl := c.vl
@@ -58,11 +68,12 @@ func (c *CPU) execVector(in isa.Instr) error {
 		// A zero-length vector instruction is a no-op taking only its
 		// startup overhead.
 		c.clock += int64(t.X)
+		c.chargeStall(LaneASU, c.clock, StallStartup)
 		return nil
 	}
 
 	if !c.builder.Fits(in) {
-		c.closeChime()
+		c.closeChime(false)
 	}
 	newChime := c.builder.Empty()
 	c.builder.Add(in)
@@ -70,27 +81,54 @@ func (c *CPU) execVector(in isa.Instr) error {
 		c.chimeVL = vl
 	}
 
-	// Stream entry time S. The tailgating bubble applies only when the
-	// instruction actually follows another down the same pipe.
+	// Stream entry time S, with each constraint kept as an attribution
+	// checkpoint: after S is fixed, the pipe's wait [frontier, S] is
+	// attributed chronologically across the checkpoints in ascending
+	// order, so each cause is charged exactly the span it was binding
+	// beyond all earlier constraints (no double counting, exact
+	// conservation).
+	type waitPoint struct {
+		t     int64
+		cause StallCause
+	}
+	var wbuf [6]waitPoint
+	waits := wbuf[:0]
+
+	// The tailgating bubble applies only when the instruction actually
+	// follows another down the same pipe.
 	s := dispatchDone + int64(t.X)
+	waits = append(waits,
+		waitPoint{dispatchDone, StallScalar},
+		waitPoint{s, StallStartup})
 	pipe := in.Pipe()
+	lane := int(pipe)
 	pf := c.pipeFree[pipe]
 	if c.cfg.Rules.Bubbles && c.pipeUsed[pipe] {
 		pf += int64(t.B)
+		waits = append(waits, waitPoint{pf, StallBubble})
 	}
 	if pf > s {
 		s = pf
 	}
 	c.pipeUsed[pipe] = true
+	gateCause := StallChimeSync
+	if c.prevGateSplit {
+		gateCause = StallChimeSplit
+	}
 	if newChime {
+		waits = append(waits, waitPoint{c.prevGate, gateCause})
 		if c.prevGate > s {
 			s = c.prevGate
 		}
-	} else if c.chimeStart > s {
-		s = c.chimeStart
+	} else {
+		waits = append(waits, waitPoint{c.chimeStart, StallChimeSync})
+		if c.chimeStart > s {
+			s = c.chimeStart
+		}
 	}
 
 	// Data dependences on vector registers.
+	var chainT int64
 	for _, r := range in.VectorReads() {
 		w := c.vw[r.N]
 		if !w.valid {
@@ -104,13 +142,20 @@ func (c *CPU) execVector(in isa.Instr) error {
 			if w.z > t.Z {
 				dep += int64(math.Ceil((w.z - t.Z) * float64(vl-1)))
 			}
+			if dep > chainT {
+				chainT = dep
+			}
 			if dep > s {
 				s = dep
 			}
 		} else if w.fin > s {
 			// Cross-chime (or unchained) consumers wait for completion.
+			chainT = w.fin
 			s = w.fin
 		}
+	}
+	if chainT > 0 {
+		waits = append(waits, waitPoint{chainT, StallChain})
 	}
 	// Write-after-write needs no explicit constraint: streams are issued
 	// in order and the pipe input constraint keeps a later writer a full
@@ -118,6 +163,7 @@ func (c *CPU) execVector(in isa.Instr) error {
 	// paper's calibration loops reuse one register across iterations.
 
 	// Memory port and stream stalls.
+	var st memStall
 	var stall int64
 	var ea int64
 	if in.IsMemory() {
@@ -127,12 +173,26 @@ func (c *CPU) execVector(in isa.Instr) error {
 			return err
 		}
 		if c.scalarPortFree > s {
-			s = c.scalarPortFree
 			c.stats.PortConflicts++
 		}
-		stall = c.memStreamStall(s, ea, vl)
+		waits = append(waits, waitPoint{c.scalarPortFree, StallPortArb})
+		if c.scalarPortFree > s {
+			s = c.scalarPortFree
+		}
+		st = c.memStreamStall(s, ea, vl)
+		stall = st.total()
 		c.chimeMemStall += stall
 		c.stats.MemStalls += stall
+	}
+
+	// Attribute the pipe's pre-stream wait, then its streaming interval.
+	sort.Slice(waits, func(i, j int) bool { return waits[i].t < waits[j].t })
+	for _, w := range waits {
+		wt := w.t
+		if wt > s {
+			wt = s
+		}
+		c.chargeStall(lane, wt, w.cause)
 	}
 
 	if newChime {
@@ -140,6 +200,11 @@ func (c *CPU) execVector(in isa.Instr) error {
 	}
 
 	streamIn := int64(math.Ceil(t.Z * float64(vl)))
+	streamEnd := s + streamIn
+	c.chargeIssue(lane, streamEnd)
+	c.chargeStall(lane, streamEnd+st.bank, StallBankConflict)
+	c.chargeStall(lane, streamEnd+st.bank+st.refresh, StallRefresh)
+	c.chargeStall(lane, streamEnd+stall, StallContention)
 	c.pipeFree[pipe] = s + streamIn + stall
 	c.stats.PipeBusy[pipe] += streamIn + stall
 	fin := s + int64(t.Y) + streamIn + stall
@@ -160,8 +225,8 @@ func (c *CPU) execVector(in isa.Instr) error {
 		}
 	}
 
-	if c.cfg.Trace {
-		c.trace = append(c.trace, TraceEvent{
+	if c.cfg.Trace || c.ring != nil {
+		ev := TraceEvent{
 			Instr:       in,
 			Chime:       c.chimeID + 1,
 			Dispatch:    dispatchDone,
@@ -170,7 +235,12 @@ func (c *CPU) execVector(in isa.Instr) error {
 			Finish:      fin,
 			Stall:       stall,
 			VL:          vl,
-		})
+		}
+		if c.cfg.Trace {
+			c.trace = append(c.trace, ev)
+		} else {
+			c.ring.push(ev)
+		}
 	}
 
 	return c.execVectorFunc(in, vl, ea)
@@ -186,29 +256,40 @@ func (c *CPU) vectorEA(in isa.Instr) (int64, error) {
 	return 0, fmt.Errorf("vector memory op without memory operand")
 }
 
+// memStall decomposes one vector stream's stall cycles by mechanism.
+type memStall struct {
+	bank       int64 // bank-busy conflicts (incl. shared-bank contention)
+	refresh    int64 // refresh windows
+	contention int64 // multi-process memory slowdown surcharge
+}
+
+func (m memStall) total() int64 { return m.bank + m.refresh + m.contention }
+
 // memStreamStall returns the stall cycles a vector memory stream suffers
-// from bank conflicts, refresh, and multi-process contention. In cluster
-// mode the stream runs against the banks shared with the other CPUs
-// (mutating their state); standalone it probes a private model.
-func (c *CPU) memStreamStall(start, base int64, vl int) int64 {
-	var stall int64
+// from bank conflicts, refresh, and multi-process contention, decomposed
+// by cause. In cluster mode the stream runs against the banks shared with
+// the other CPUs (mutating their state) and the whole shared-bank wait is
+// booked as bank conflict; standalone it probes a private model that
+// separates bank-busy from refresh waits.
+func (c *CPU) memStreamStall(start, base int64, vl int) memStall {
+	var st memStall
 	stride := c.vs
 	if !c.cfg.BankConflicts {
 		stride = isa.WordBytes // unit stride never conflicts
 	}
 	switch {
 	case c.sharedBank != nil:
-		stall = c.sharedBank.Stream(start, base, stride, vl)
+		st.bank = c.sharedBank.Stream(start, base, stride, vl)
 	case c.cfg.BankConflicts || c.cfg.RefreshStalls:
 		cfg := c.bankCfg
 		cfg.RefreshEnabled = c.cfg.RefreshStalls
 		bm := mem.NewBankModel(cfg)
-		stall = bm.StreamStall(start, base, stride, vl)
+		st.bank, st.refresh = bm.StreamStallParts(start, base, stride, vl)
 	}
 	if c.cfg.MemSlowdown > 1 {
-		stall += int64(math.Ceil((c.cfg.MemSlowdown - 1) * float64(vl)))
+		st.contention = int64(math.Ceil((c.cfg.MemSlowdown - 1) * float64(vl)))
 	}
-	return stall
+	return st
 }
 
 // vecOperand returns an element accessor for a vector-op operand:

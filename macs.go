@@ -77,6 +77,13 @@ type (
 	AXMeasurement = ax.Measurement
 	// ExperimentConfig configures table/figure regeneration.
 	ExperimentConfig = experiments.Config
+	// Attribution is the per-lane stall-attribution ledger of a run (issue
+	// plus attributed stall cycles equal total cycles on every lane).
+	Attribution = vm.Attribution
+	// StallCause classifies one attributed non-issue cycle.
+	StallCause = vm.StallCause
+	// TraceEvent records the timing of one vector instruction.
+	TraceEvent = vm.TraceEvent
 )
 
 // Defaults for the C-240 configuration.
@@ -131,6 +138,9 @@ type Result struct {
 	// iteration count used for the conversion.
 	MeasuredCPL float64
 	Iterations  int64
+	// Trace holds the run's vector timing events when the VM config enables
+	// tracing (Trace or TraceRing); export with ChromeTrace.
+	Trace []TraceEvent
 }
 
 // boundSource compiles src and computes the MA/MAC/MACS hierarchy of its
@@ -174,14 +184,22 @@ func BoundSource(src string) (Analysis, error) {
 // inner-loop iterations the program executes; prime (optional) sets
 // memory inputs before the run.
 func AnalyzeSource(src string, iterations int64, prime func(*CPU) error) (Result, error) {
+	return AnalyzeSourceVM(src, iterations, vm.DefaultConfig(), prime)
+}
+
+// AnalyzeSourceVM is AnalyzeSource with an explicit simulator
+// configuration: use it to enable tracing (Trace/TraceRing), model memory
+// contention (MemSlowdown) or change the machine. The bounds are computed
+// with the configuration's chime rules and vector length.
+func AnalyzeSourceVM(src string, iterations int64, cfg VMConfig, prime func(*CPU) error) (Result, error) {
 	var res Result
-	prog, a, err := boundSource(src, compiler.DefaultOptions(), vm.DefaultConfig().VLMax, core.DefaultRules())
+	prog, a, err := boundSource(src, compiler.DefaultOptions(), cfg.VLMax, cfg.Rules)
 	res.Program = prog
 	if err != nil {
 		return res, err
 	}
 	res.Analysis = a
-	cpu := vm.New(vm.DefaultConfig())
+	cpu := vm.New(cfg)
 	if err := cpu.Load(prog); err != nil {
 		return res, err
 	}
@@ -194,12 +212,17 @@ func AnalyzeSource(src string, iterations int64, prime func(*CPU) error) (Result
 	if err != nil {
 		return res, err
 	}
+	res.Trace = cpu.TraceEvents()
 	res.Iterations = iterations
 	if iterations > 0 {
 		res.MeasuredCPL = float64(res.Stats.Cycles) / float64(iterations)
 	}
 	return res, nil
 }
+
+// ChromeTrace renders vector timing events (Result.Trace) as a Chrome
+// trace_event JSON document for chrome://tracing or Perfetto.
+func ChromeTrace(events []TraceEvent) ([]byte, error) { return vm.ChromeTrace(events) }
 
 // Report renders the hierarchy of one Result as text.
 func (r Result) Report() string {
