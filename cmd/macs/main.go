@@ -6,6 +6,9 @@
 // Usage:
 //
 //	macs compile <kernel.f>        print the compiled assembly
+//	macs check   <kernel.f>        statically verify the compiled code and
+//	                               print every diagnostic; exits non-zero
+//	                               when the checker finds errors
 //	macs bound   <kernel.f>        print the bounds hierarchy
 //	macs sim     <kernel.f> [-n N] compile and simulate (N inner iterations
 //	                               for the CPL conversion)
@@ -42,6 +45,8 @@ func main() {
 	switch cmd {
 	case "compile":
 		err = cmdCompile(os.Stdout, args)
+	case "check":
+		err = cmdCheck(os.Stdout, args)
 	case "bound":
 		err = cmdBound(os.Stdout, args)
 	case "sim":
@@ -66,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: macs {compile|bound|sim|attr|ax} <kernel.f> | macs calib | macs sweep | macs lfk <id>")
+	fmt.Fprintln(os.Stderr, "usage: macs {compile|check|bound|sim|attr|ax} <kernel.f> | macs calib | macs sweep | macs lfk <id>")
 	os.Exit(2)
 }
 
@@ -92,6 +97,33 @@ func cmdCompile(w io.Writer, args []string) error {
 		return err
 	}
 	fmt.Fprint(w, p.String())
+	return nil
+}
+
+// cmdCheck compiles a kernel and runs the static checker, printing every
+// finding anchored to its instruction. Error-severity findings make the
+// command fail, so it gates CI and scripted pipelines.
+func cmdCheck(w io.Writer, args []string) error {
+	src, err := readSource(args)
+	if err != nil {
+		return err
+	}
+	p, err := macs.Compile(src, macs.DefaultCompilerOptions())
+	if err != nil {
+		return err
+	}
+	ds := macs.Verify(p)
+	nerr := 0
+	for _, d := range ds {
+		if d.Severity == macs.SevError {
+			nerr++
+		}
+		fmt.Fprintln(w, d.Render(p))
+	}
+	if nerr > 0 {
+		return fmt.Errorf("check failed: %d error(s), %d finding(s) total", nerr, len(ds))
+	}
+	fmt.Fprintf(w, "ok: %d instruction(s), %d finding(s), no errors\n", len(p.Instrs), len(ds))
 	return nil
 }
 

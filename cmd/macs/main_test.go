@@ -45,6 +45,16 @@ func TestCmdCompile(t *testing.T) {
 	}
 }
 
+func TestCmdCheck(t *testing.T) {
+	var out strings.Builder
+	if err := cmdCheck(&out, []string{writeKernel(t)}); err != nil {
+		t.Fatalf("check on compiled SAXPY failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no errors") {
+		t.Errorf("check output missing summary line:\n%s", out.String())
+	}
+}
+
 func TestCmdBound(t *testing.T) {
 	var out strings.Builder
 	if err := cmdBound(&out, []string{writeKernel(t)}); err != nil {

@@ -1,0 +1,38 @@
+package asm_test
+
+import (
+	"testing"
+
+	"macs/internal/asm"
+	"macs/internal/compiler"
+	"macs/internal/lfk"
+)
+
+// FuzzAsmParse asserts the assembly parser never panics on arbitrary
+// input, and that parse→print→parse is a fixpoint: a parsed program's
+// String() form parses back to a program with identical String(). Seeds
+// are the compiled forms of the ten case-study kernels.
+func FuzzAsmParse(f *testing.F) {
+	for _, k := range lfk.All() {
+		p, err := compiler.Compile(k.Source, compiler.DefaultOptions())
+		if err != nil {
+			f.Fatalf("LFK%d does not compile: %v", k.ID, err)
+		}
+		f.Add(p.String())
+	}
+	f.Add("main:\n  mov 8,vs\n  mov 4,vl\n  ld.d d_X(a0),v0\n.data d_X 64\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := asm.Parse(src)
+		if err != nil {
+			return // rejecting bad input is fine; panicking is not
+		}
+		c1 := p1.String()
+		p2, err := asm.Parse(c1)
+		if err != nil {
+			t.Fatalf("printed program does not re-parse: %v\ninput: %q\nprinted: %q", err, src, c1)
+		}
+		if c2 := p2.String(); c2 != c1 {
+			t.Fatalf("String is not a fixpoint\ninput: %q\nfirst:  %q\nsecond: %q", src, c1, c2)
+		}
+	})
+}

@@ -80,7 +80,9 @@ func Parse(src string) (*Program, error) {
 	return p, nil
 }
 
-// MustParse is Parse for known-good sources; it panics on error.
+// MustParse is Parse for known-good sources; it panics on error. It is a
+// test fixture helper only — production code handles Parse's error, and
+// macsvet enforces that no non-test file calls it.
 func MustParse(src string) *Program {
 	p, err := Parse(src)
 	if err != nil {

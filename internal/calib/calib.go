@@ -145,7 +145,10 @@ func Calibrate(op isa.Op, cfg vm.Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	spec := isa.MustVectorTiming(op)
+	spec, ok := isa.VectorTiming(op)
+	if !ok {
+		return Result{}, fmt.Errorf("calib: %s has no vector timing to calibrate", op)
+	}
 	res := Result{Op: op, Format: instr, Spec: spec}
 
 	d128, err := perIteration(instr, 128, cfg)

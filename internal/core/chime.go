@@ -174,7 +174,9 @@ func (b *ChimeBuilder) Add(in isa.Instr) {
 	if in.IsMemory() {
 		b.cur.HasMem = true
 	}
-	t := isa.MustVectorTiming(in.Op)
+	// Partition only feeds ops with Table 1 timings; an op without one
+	// contributes zero Z and B rather than derailing the build.
+	t, _ := isa.VectorTiming(in.Op)
 	if t.Z > b.cur.ZMax {
 		b.cur.ZMax = t.Z
 	}

@@ -97,8 +97,9 @@ func ExtendedBound(body []isa.Instr, shape LoopShape, rules Rules) ExtendedResul
 	var startup float64
 	chimes := Partition(body, rules)
 	if len(chimes) > 0 && len(chimes[0].Members) > 0 {
-		t := isa.MustVectorTiming(chimes[0].Members[0].Op)
-		startup = float64(t.X + t.Y)
+		if t, ok := isa.VectorTiming(chimes[0].Members[0].Op); ok {
+			startup = float64(t.X + t.Y)
+		}
 	}
 	reductions := countReductions(body)
 	sumT, _ := isa.VectorTiming(isa.OpSum)

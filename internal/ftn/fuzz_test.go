@@ -1,0 +1,53 @@
+package ftn_test
+
+import (
+	"testing"
+
+	"macs/internal/ftn"
+	"macs/internal/lfk"
+)
+
+// FuzzFtnParse asserts the Fortran-subset front end never panics on
+// arbitrary input, and that parse→print→parse is a fixpoint: printing a
+// parsed program yields source that parses back to a program printing
+// identically.
+func FuzzFtnParse(f *testing.F) {
+	for _, k := range lfk.All() {
+		f.Add(k.Source)
+	}
+	f.Add("PROGRAM P\nREAL X(8)\nDO K = 1, 8\n  X(K) = X(K) + 1.5E-3\nENDDO\nEND\n")
+	f.Add("10 CONTINUE\nGOTO 10\nEND\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := ftn.Parse(src)
+		if err != nil {
+			return // rejecting bad input is fine; panicking is not
+		}
+		c1 := ftn.Print(p1)
+		p2, err := ftn.Parse(c1)
+		if err != nil {
+			t.Fatalf("printed source does not re-parse: %v\ninput: %q\nprinted: %q", err, src, c1)
+		}
+		if c2 := ftn.Print(p2); c2 != c1 {
+			t.Fatalf("print is not a fixpoint\ninput: %q\nfirst:  %q\nsecond: %q", src, c1, c2)
+		}
+	})
+}
+
+// TestPrintRoundTripLFK pins the property on the ten case-study kernels
+// outside the fuzzer, so a plain `go test` exercises it too.
+func TestPrintRoundTripLFK(t *testing.T) {
+	for _, k := range lfk.All() {
+		p1, err := ftn.Parse(k.Source)
+		if err != nil {
+			t.Fatalf("LFK%d: %v", k.ID, err)
+		}
+		c1 := ftn.Print(p1)
+		p2, err := ftn.Parse(c1)
+		if err != nil {
+			t.Fatalf("LFK%d: printed source does not re-parse: %v\n%s", k.ID, err, c1)
+		}
+		if c2 := ftn.Print(p2); c2 != c1 {
+			t.Errorf("LFK%d: print not a fixpoint:\n%s\nvs\n%s", k.ID, c1, c2)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package ftn
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Print renders a Program back to canonical subset source: one
+// declaration per line, fully parenthesized expressions, upper-case
+// identifiers (the lexer's normal form). Printing then re-parsing yields
+// the same program, and re-printing that yields identical text — the
+// fixpoint the fuzz targets assert.
+func Print(p *Program) string {
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, "PROGRAM %s\n", p.Name)
+	}
+	for _, d := range p.Decls {
+		b.WriteString(d.Kind.String())
+		b.WriteByte(' ')
+		b.WriteString(d.Name)
+		if len(d.Dims) > 0 {
+			b.WriteByte('(')
+			for i, dim := range d.Dims {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Itoa(dim))
+			}
+			b.WriteByte(')')
+		}
+		b.WriteByte('\n')
+	}
+	printBody(&b, p.Body, 0)
+	b.WriteString("END\n")
+	return b.String()
+}
+
+func printBody(b *strings.Builder, body []Stmt, depth int) {
+	for _, s := range body {
+		printStmt(b, s, depth)
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	prefix := strings.Repeat("  ", depth)
+	if l := s.StmtLabel(); l != 0 {
+		prefix = strconv.Itoa(l) + " " + prefix
+	}
+	switch st := s.(type) {
+	case *DoStmt:
+		if st.IVDep {
+			b.WriteString("CDIR$ IVDEP\n")
+		}
+		fmt.Fprintf(b, "%sDO %s = %s, %s", prefix, st.Var, exprString(st.Lo), exprString(st.Hi))
+		if st.Step != nil {
+			fmt.Fprintf(b, ", %s", exprString(st.Step))
+		}
+		b.WriteByte('\n')
+		printBody(b, st.Body, depth+1)
+		fmt.Fprintf(b, "%sENDDO\n", strings.Repeat("  ", depth))
+	case *Assign:
+		fmt.Fprintf(b, "%s%s = %s\n", prefix, refString(st.LHS), exprString(st.RHS))
+	case *IfGoto:
+		fmt.Fprintf(b, "%sIF (%s .%s. %s) GOTO %d\n",
+			prefix, exprString(st.Left), st.Rel, exprString(st.Right), st.Target)
+	case *Goto:
+		fmt.Fprintf(b, "%sGOTO %d\n", prefix, st.Target)
+	case *Continue:
+		fmt.Fprintf(b, "%sCONTINUE\n", prefix)
+	}
+}
+
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case Num:
+		return numString(x)
+	case *Ref:
+		return refString(x)
+	case Bin:
+		return "(" + exprString(x.L) + " " + string(x.Op) + " " + exprString(x.R) + ")"
+	case Neg:
+		return "(-" + exprString(x.X) + ")"
+	}
+	return e.String()
+}
+
+func refString(r *Ref) string {
+	if len(r.Indices) == 0 {
+		return r.Name
+	}
+	parts := make([]string, len(r.Indices))
+	for i, ix := range r.Indices {
+		parts[i] = exprString(ix)
+	}
+	return r.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// numString formats a literal so the lexer tokenizes it back to the same
+// value: integers as plain digits while the int64 conversion is exact,
+// reals always with a decimal point (the lexer needs one before any
+// exponent), in strconv's shortest-round-trip form.
+func numString(n Num) string {
+	v := n.Val
+	if n.IsInt && v >= math.MinInt64 && v < math.MaxInt64 && v == math.Trunc(v) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	s := strconv.FormatFloat(v, 'G', -1, 64)
+	if !strings.Contains(s, ".") {
+		if i := strings.IndexAny(s, "E"); i >= 0 {
+			s = s[:i] + ".0" + s[i:]
+		} else {
+			s += ".0"
+		}
+	}
+	return s
+}

@@ -297,13 +297,17 @@ func TestVectorTimingMissingForControlOps(t *testing.T) {
 	}
 }
 
-func TestMustVectorTimingPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustVectorTiming(OpJmp) should panic")
+func TestOpTimingPartition(t *testing.T) {
+	// Every opcode either has a Table 1 vector timing or is declared
+	// scalar-only — never both, never neither. macsvet enforces the same
+	// invariant statically; this is the runtime cross-check.
+	for op := Op(0); op < numOps; op++ {
+		_, hasTiming := VectorTiming(op)
+		if hasTiming == ScalarOnly(op) {
+			t.Errorf("%v: want exactly one of Table 1 timing or scalarOnly (timing=%v, scalarOnly=%v)",
+				op, hasTiming, ScalarOnly(op))
 		}
-	}()
-	MustVectorTiming(OpJmp)
+	}
 }
 
 func TestCPFToMFLOPS(t *testing.T) {

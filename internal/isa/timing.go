@@ -35,6 +35,24 @@ var timings = map[Op]Timing{
 	OpMov:  {X: 2, Y: 10, Z: 1.00, B: 1}, // vector register move
 }
 
+// scalarOnly declares the opcodes that deliberately have no vector form:
+// control flow, compares (which set the scalar T flag), and the testing
+// halt. macsvet checks that every Op appears in exactly one of timings or
+// this set, so adding an opcode without deciding its vector timing fails
+// CI instead of silently falling through the model.
+var scalarOnly = map[Op]bool{
+	OpNop:  true,
+	OpLe:   true,
+	OpLt:   true,
+	OpGt:   true,
+	OpGe:   true,
+	OpEq:   true,
+	OpNe:   true,
+	OpJbrs: true,
+	OpJmp:  true,
+	OpHalt: true,
+}
+
 // VectorTiming returns the Table 1 parameters for an opcode executed as a
 // vector instruction; ok is false for opcodes with no vector form.
 func VectorTiming(op Op) (Timing, bool) {
@@ -42,15 +60,8 @@ func VectorTiming(op Op) (Timing, bool) {
 	return t, ok
 }
 
-// MustVectorTiming is VectorTiming for opcodes known to have vector forms;
-// it panics otherwise (programming error).
-func MustVectorTiming(op Op) Timing {
-	t, ok := timings[op]
-	if !ok {
-		panic("isa: no vector timing for " + op.String())
-	}
-	return t
-}
+// ScalarOnly reports whether an opcode is declared to have no vector form.
+func ScalarOnly(op Op) bool { return scalarOnly[op] }
 
 // Machine-level constants of the Convex C-240 (paper §2, §3.2).
 const (

@@ -1,0 +1,176 @@
+package macsvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// marker in a type declaration's doc comment opting the enum into the
+// exhaustive-switch rule.
+const exhaustiveMarker = "macsvet:exhaustive"
+
+// enum is one marked enum type and its members.
+type enum struct {
+	pkgPath  string
+	typeName string
+	members  []string
+	member   map[string]bool
+}
+
+// collectEnums finds every type marked macsvet:exhaustive and gathers its
+// members: constants of that type declared in the same package, iota
+// blocks included, size sentinels (num*/Num*) excluded.
+func collectEnums(m *Module) []*enum {
+	var enums []*enum
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if hasMarker(gd.Doc) || hasMarker(ts.Doc) || hasMarker(ts.Comment) {
+						enums = append(enums, &enum{
+							pkgPath:  p.ImportPath,
+							typeName: ts.Name.Name,
+							member:   map[string]bool{},
+						})
+					}
+				}
+			}
+		}
+	}
+	for _, e := range enums {
+		p := m.Pkgs[e.pkgPath]
+		for _, f := range p.Files {
+			collectMembers(f, e)
+		}
+	}
+	return enums
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.Contains(cg.Text(), exhaustiveMarker)
+}
+
+// collectMembers scans const blocks for members of e's type. A ValueSpec
+// with neither type nor values repeats the previous spec (the iota
+// idiom); one with values but no type resets the tracked type.
+func collectMembers(f *ast.File, e *enum) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		cur := ""
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			switch {
+			case vs.Type != nil:
+				cur = ""
+				if id, ok := vs.Type.(*ast.Ident); ok {
+					cur = id.Name
+				}
+			case len(vs.Values) > 0:
+				cur = ""
+			}
+			if cur != e.typeName {
+				continue
+			}
+			for _, n := range vs.Names {
+				if n.Name == "_" || sentinel(n.Name) {
+					continue
+				}
+				if !e.member[n.Name] {
+					e.member[n.Name] = true
+					e.members = append(e.members, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkExhaustive flags switches that name some but not all members of a
+// marked enum.
+func checkExhaustive(m *Module) []Finding {
+	enums := collectEnums(m)
+	if len(enums) == 0 {
+		return nil
+	}
+	var fs []Finding
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			imps := p.Imports[f]
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				names := caseNames(sw)
+				for _, e := range enums {
+					covered := map[string]bool{}
+					for _, cn := range names {
+						if !e.member[cn.name] {
+							continue
+						}
+						samePkg := cn.qual == "" && p.ImportPath == e.pkgPath
+						imported := cn.qual != "" && imps[cn.qual] == e.pkgPath
+						if samePkg || imported {
+							covered[cn.name] = true
+						}
+					}
+					if len(covered) == 0 {
+						continue
+					}
+					var missing []string
+					for _, mem := range e.members {
+						if !covered[mem] {
+							missing = append(missing, mem)
+						}
+					}
+					if len(missing) > 0 {
+						fs = append(fs, Finding{
+							Pos:  m.Fset.Position(sw.Pos()),
+							Rule: "exhaustive",
+							Message: fmt.Sprintf("switch on %s covers %d of %d members; missing %s",
+								e.typeName, len(covered), len(e.members), strings.Join(missing, ", ")),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// caseName is one case-clause expression: a bare identifier or a
+// package-qualified selector.
+type caseName struct {
+	qual, name string
+}
+
+func caseNames(sw *ast.SwitchStmt) []caseName {
+	var out []caseName
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			switch e := expr.(type) {
+			case *ast.Ident:
+				out = append(out, caseName{name: e.Name})
+			case *ast.SelectorExpr:
+				if x, ok := e.X.(*ast.Ident); ok {
+					out = append(out, caseName{qual: x.Name, name: e.Sel.Name})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package macsvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// checkISATiming enforces the opcode/timing-table invariant of
+// internal/isa: every Op constant must appear in the opNames table and in
+// exactly one of the Table 1 timings map or the scalarOnly set. The rule
+// is a no-op for modules without that package (test fixtures).
+func checkISATiming(m *Module) []Finding {
+	p := m.Pkgs[m.Path+"/internal/isa"]
+	if p == nil {
+		return nil
+	}
+	var ops []string
+	var opPos []token.Pos
+	tables := map[string]map[string]bool{
+		"opNames": nil, "timings": nil, "scalarOnly": nil,
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.CONST:
+				cur := ""
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					switch {
+					case vs.Type != nil:
+						cur = ""
+						if id, ok := vs.Type.(*ast.Ident); ok {
+							cur = id.Name
+						}
+					case len(vs.Values) > 0:
+						cur = ""
+					}
+					if cur != "Op" {
+						continue
+					}
+					for _, n := range vs.Names {
+						if n.Name == "_" || sentinel(n.Name) {
+							continue
+						}
+						ops = append(ops, n.Name)
+						opPos = append(opPos, n.Pos())
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for i, name := range vs.Names {
+						if _, want := tables[name.Name]; !want || i >= len(vs.Values) {
+							continue
+						}
+						cl, ok := vs.Values[i].(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						tables[name.Name] = literalKeys(cl)
+					}
+				}
+			}
+		}
+	}
+	var fs []Finding
+	for name, keys := range tables {
+		if keys == nil {
+			return []Finding{{
+				Pos:     m.Fset.Position(token.NoPos),
+				Rule:    "isatiming",
+				Message: fmt.Sprintf("internal/isa: table %s not found as a composite-literal var", name),
+			}}
+		}
+	}
+	for i, op := range ops {
+		pos := m.Fset.Position(opPos[i])
+		if !tables["opNames"][op] {
+			fs = append(fs, Finding{Pos: pos, Rule: "isatiming",
+				Message: fmt.Sprintf("%s has no opNames entry (String would print op?)", op)})
+		}
+		inTiming, inScalar := tables["timings"][op], tables["scalarOnly"][op]
+		switch {
+		case inTiming && inScalar:
+			fs = append(fs, Finding{Pos: pos, Rule: "isatiming",
+				Message: fmt.Sprintf("%s is in both timings and scalarOnly; pick one", op)})
+		case !inTiming && !inScalar:
+			fs = append(fs, Finding{Pos: pos, Rule: "isatiming",
+				Message: fmt.Sprintf("%s has neither a Table 1 timing nor a scalarOnly declaration", op)})
+		}
+	}
+	return fs
+}
+
+// literalKeys returns the identifier keys of a keyed composite literal
+// (map or indexed-array).
+func literalKeys(cl *ast.CompositeLit) map[string]bool {
+	keys := map[string]bool{}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			keys[id.Name] = true
+		}
+	}
+	return keys
+}

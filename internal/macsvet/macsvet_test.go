@@ -1,0 +1,66 @@
+package macsvet
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixtureFindings runs every rule over the crafted violation fixture
+// and checks the exact set of findings.
+func TestFixtureFindings(t *testing.T) {
+	fs, err := Run(filepath.Join("testdata", "src", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		file, rule, msg string
+	}{
+		{"caller/caller.go", "musttest", "MustRun panics on error"},
+		{"eng/eng.go", "nopanic", "naked panic in Run"},
+		{"enums/enums.go", "exhaustive", "missing Blue"},
+		{"paint/paint.go", "exhaustive", "missing Green, Blue"},
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(fs), len(want), fs)
+	}
+	for i, w := range want {
+		f := fs[i]
+		if !strings.HasSuffix(filepath.ToSlash(f.Pos.Filename), w.file) {
+			t.Errorf("finding %d in %s, want %s", i, f.Pos.Filename, w.file)
+		}
+		if f.Rule != w.rule {
+			t.Errorf("finding %d rule = %s, want %s", i, f.Rule, w.rule)
+		}
+		if !strings.Contains(f.Message, w.msg) {
+			t.Errorf("finding %d message = %q, want substring %q", i, f.Message, w.msg)
+		}
+	}
+}
+
+// TestModuleClean runs macsvet over the real module: the repo must obey
+// its own invariants.
+func TestModuleClean(t *testing.T) {
+	fs, err := Run(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("module finding: %s", f)
+	}
+}
+
+func TestIsMustName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"Must":        true,
+		"MustParse":   true,
+		"MustCompile": true,
+		"Mustache":    false,
+		"mustParse":   false,
+		"Parse":       false,
+	} {
+		if got := isMustName(name); got != want {
+			t.Errorf("isMustName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

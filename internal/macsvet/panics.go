@@ -1,0 +1,168 @@
+package macsvet
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// serviceReachable returns the set of module packages reachable from
+// internal/service's import graph, internal/service included. These are
+// the packages a request can execute.
+func serviceReachable(m *Module) map[string]bool {
+	start := m.Path + "/internal/service"
+	if m.Pkgs[start] == nil {
+		return nil
+	}
+	seen := map[string]bool{start: true}
+	work := []string{start}
+	for len(work) > 0 {
+		p := m.Pkgs[work[0]]
+		work = work[1:]
+		if p == nil {
+			continue
+		}
+		for _, imps := range p.Imports {
+			for _, path := range imps {
+				if !strings.HasPrefix(path, m.Path) || seen[path] {
+					continue
+				}
+				seen[path] = true
+				work = append(work, path)
+			}
+		}
+	}
+	return seen
+}
+
+// checkPanics flags naked panic() calls in non-test code of packages
+// reachable from service request handling. Must* helpers are exempt:
+// they are documented test-only and the musttest rule keeps them out of
+// production call sites.
+func checkPanics(m *Module) []Finding {
+	reachable := serviceReachable(m)
+	var fs []Finding
+	for path := range reachable {
+		p := m.Pkgs[path]
+		if p == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			walkFuncs(f, func(fn string, call *ast.CallExpr) {
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" || isMustName(fn) {
+					return
+				}
+				fs = append(fs, Finding{
+					Pos:  m.Fset.Position(call.Pos()),
+					Rule: "nopanic",
+					Message: fmt.Sprintf(
+						"naked panic in %s, reachable from service request handling; return an error instead", fn),
+				})
+			})
+		}
+	}
+	return fs
+}
+
+// checkMustCalls flags non-test calls to module-internal Must* helpers
+// that panic. Error-returning functions that happen to be named Must
+// (the verify gate) are not helpers in that sense and stay legal.
+func checkMustCalls(m *Module) []Finding {
+	var fs []Finding
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			imps := p.Imports[f]
+			walkFuncs(f, func(fn string, call *ast.CallExpr) {
+				if isMustName(fn) {
+					return // Must helpers may delegate to each other
+				}
+				var qual, name string
+				switch e := call.Fun.(type) {
+				case *ast.Ident:
+					name = e.Name
+				case *ast.SelectorExpr:
+					if x, ok := e.X.(*ast.Ident); ok {
+						qual, name = x.Name, e.Sel.Name
+					}
+				}
+				if !isMustName(name) {
+					return
+				}
+				targetPkg := p.ImportPath
+				if qual != "" {
+					targetPkg = imps[qual]
+					if !strings.HasPrefix(targetPkg, m.Path) {
+						return // stdlib regexp.MustCompile and friends
+					}
+				}
+				if !funcPanics(m.Pkgs[targetPkg], name) {
+					return
+				}
+				fs = append(fs, Finding{
+					Pos:  m.Fset.Position(call.Pos()),
+					Rule: "musttest",
+					Message: fmt.Sprintf(
+						"%s panics on error and is a test-only helper; call the non-Must form and handle the error", name),
+				})
+			})
+		}
+	}
+	return fs
+}
+
+// isMustName reports whether a function name follows the Must* panicking
+// helper convention.
+func isMustName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "Must")
+	if !ok {
+		return false
+	}
+	return rest == "" || rest[0] >= 'A' && rest[0] <= 'Z'
+}
+
+// funcPanics reports whether pkg declares a function of that name whose
+// body contains a panic call.
+func funcPanics(pkg *Pkg, name string) bool {
+	if pkg == nil {
+		return false
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name || fd.Body == nil {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walkFuncs visits every call expression in a file, reporting the name
+// of the enclosing top-level function (function literals inherit it).
+func walkFuncs(f *ast.File, visit func(fn string, call *ast.CallExpr)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				visit(fd.Name.Name, call)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,8 @@
+// Package caller misuses a Must helper outside tests. It is not
+// reachable from the fixture service, so only the musttest rule fires.
+package caller
+
+import "fixture/eng"
+
+// Misuse calls a panicking Must helper from production code.
+func Misuse() { eng.MustRun() }

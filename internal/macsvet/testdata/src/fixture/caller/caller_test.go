@@ -1,0 +1,14 @@
+package caller
+
+import (
+	"testing"
+
+	"fixture/eng"
+)
+
+// Test files may use Must helpers freely.
+func TestMustRun(t *testing.T) {
+	defer func() { recover() }()
+	eng.MustRun()
+	t.Error("unreachable")
+}

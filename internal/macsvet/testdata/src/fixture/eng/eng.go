@@ -1,0 +1,22 @@
+// Package eng is imported by the fixture service, so its panics are
+// request-reachable.
+package eng
+
+import "errors"
+
+// Run contains a naked panic the nopanic rule must flag.
+func Run(bad bool) {
+	if bad {
+		panic("engine exploded")
+	}
+}
+
+// MustRun is a panicking test helper; its own panic is exempt.
+func MustRun() {
+	if err := Safe(); err != nil {
+		panic(err)
+	}
+}
+
+// Safe returns its failure.
+func Safe() error { return errors.New("nope") }

@@ -1,0 +1,58 @@
+// Package enums exercises the exhaustive rule.
+package enums
+
+// Color is a marked enum.
+//
+// macsvet:exhaustive
+type Color int
+
+// Colors, plus a size sentinel the rule must skip.
+const (
+	Red Color = iota
+	Green
+	Blue
+	numColors
+)
+
+// Shade is an unmarked enum; partial switches over it are fine.
+type Shade int
+
+// Shades.
+const (
+	Light Shade = iota
+	Dark
+)
+
+// Partial misses Blue; the default clause does not excuse it.
+func Partial(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	default:
+		return "?"
+	}
+}
+
+// Complete names every member and is clean.
+func Complete(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	case Blue:
+		return "blue"
+	}
+	return "?"
+}
+
+// Unmarked switches partially over Shade without a marker: clean.
+func Unmarked(s Shade) string {
+	switch s {
+	case Light:
+		return "light"
+	}
+	return "dark"
+}

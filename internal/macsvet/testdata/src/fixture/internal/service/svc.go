@@ -1,0 +1,7 @@
+// Package service is the fixture's request-handling root.
+package service
+
+import "fixture/eng"
+
+// Handle drives the engine.
+func Handle() { eng.Run(false) }

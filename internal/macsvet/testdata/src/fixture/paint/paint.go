@@ -1,0 +1,13 @@
+// Package paint switches over an imported marked enum.
+package paint
+
+import "fixture/enums"
+
+// Pick misses Green and Blue.
+func Pick(c enums.Color) bool {
+	switch c {
+	case enums.Red:
+		return true
+	}
+	return false
+}

@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"time"
+
+	"macs"
 )
 
 // maxBodyBytes bounds request bodies; kernel sources are tiny, priming
@@ -19,6 +22,7 @@ const maxBodyBytes = 4 << 20
 //
 //	POST /v1/analyze   full pipeline (compile, bound, simulate)
 //	POST /v1/bound     bounds hierarchy only
+//	POST /v1/check     static verification only (diagnostics, no execution)
 //	POST /v1/ax        A-process / X-process measurement
 //	GET  /v1/lfk/{id}  one case-study kernel, bounds + measurement + diagnosis
 //	GET  /healthz      liveness
@@ -36,6 +40,11 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("POST /v1/bound", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(s, w, r, func(ctx context.Context, req BoundRequest) (BoundResponse, error) {
 			return s.Bound(ctx, req)
+		})
+	})
+	mux.HandleFunc("POST /v1/check", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(s, w, r, func(ctx context.Context, req CheckRequest) (CheckResponse, error) {
+			return s.Check(ctx, req)
 		})
 	})
 	mux.HandleFunc("POST /v1/ax", func(w http.ResponseWriter, r *http.Request) {
@@ -64,7 +73,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
-	return accessLog(s.log, mux)
+	return recoverPanic(s.log, accessLog(s.log, mux))
 }
 
 // handleJSON decodes a JSON body, applies the request timeout, runs the
@@ -95,9 +104,11 @@ func handleJSON[Req, Resp any](s *Service, w http.ResponseWriter, r *http.Reques
 
 // writeServiceError maps service errors onto HTTP status codes:
 // backpressure → 429 + Retry-After, timeout → 504, cancelled client →
-// 499 (nginx convention), anything else (compile/analysis failures) →
-// 422.
+// 499 (nginx convention), a program rejected by the static checker →
+// 422 with the full diagnostic list in the body, anything else
+// (compile/analysis failures) → 422.
 func writeServiceError(w http.ResponseWriter, err error) {
+	var verr *macs.VerifyError
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
 		w.Header().Set("Retry-After", "1")
@@ -106,6 +117,11 @@ func writeServiceError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, context.Canceled):
 		writeError(w, 499, err)
+	case errors.As(err, &verr):
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":       err.Error(),
+			"diagnostics": verr.Diags,
+		})
 	default:
 		writeError(w, http.StatusUnprocessableEntity, err)
 	}
@@ -142,6 +158,29 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	n, err := sw.ResponseWriter.Write(b)
 	sw.bytes += n
 	return n, err
+}
+
+// recoverPanic is the outermost middleware: a panic anywhere in request
+// handling answers 500 instead of killing the connection (and, under
+// http.Server, only that goroutine). The static checker makes such
+// panics unreachable for verified inputs; this is the backstop for the
+// paths it cannot see.
+func recoverPanic(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				log.Error("panic in request handler",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"panic", v,
+					"stack", string(debug.Stack()),
+				)
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // accessLog emits one structured line per request.

@@ -4,10 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"macs"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
@@ -178,6 +183,77 @@ func TestHTTPLFK(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("lfk/abc status = %d; want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPCheck(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+	resp := postJSON(t, srv.URL+"/v1/check", CheckRequest{Source: saxpySrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check status = %d", resp.StatusCode)
+	}
+	r := decode[CheckResponse](t, resp)
+	if !r.OK {
+		t.Fatalf("compiled SAXPY does not verify clean: %+v", r.Diagnostics)
+	}
+	if r.Cached {
+		t.Fatal("first check served from cache")
+	}
+	for _, d := range r.Diagnostics {
+		if d.Severity == macs.SevError {
+			t.Errorf("unexpected error diagnostic: %+v", d)
+		}
+	}
+	r2 := decode[CheckResponse](t, postJSON(t, srv.URL+"/v1/check", CheckRequest{Source: saxpySrc}))
+	if !r2.Cached {
+		t.Fatal("second identical check not served from cache")
+	}
+
+	// A source the compiler rejects is still a plain 422.
+	resp = postJSON(t, srv.URL+"/v1/check", CheckRequest{Source: "PROGRAM P\nDO K = oops(\nEND\n"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("loop-less source status = %d; want 422", resp.StatusCode)
+	}
+}
+
+func TestWriteServiceErrorVerify(t *testing.T) {
+	// A program rejected by the static checker answers 422 with the full
+	// diagnostic list in the body, not just an error string.
+	verr := &macs.VerifyError{Diags: []macs.Diagnostic{
+		{Severity: macs.SevError, Instr: 3, Message: "use of s1 before definition"},
+		{Severity: macs.SevWarning, Instr: 5, Message: "stride warning"},
+	}}
+	rec := httptest.NewRecorder()
+	writeServiceError(rec, fmt.Errorf("analyze: %w", verr))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("verify rejection status = %d; want 422", rec.Code)
+	}
+	var body struct {
+		Error       string            `json:"error"`
+		Diagnostics []macs.Diagnostic `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Diagnostics) != 2 || body.Diagnostics[0].Message != "use of s1 before definition" {
+		t.Fatalf("422 body diagnostics = %+v", body.Diagnostics)
+	}
+}
+
+func TestHTTPRecoverPanic(t *testing.T) {
+	// The outermost middleware turns a handler panic into a 500.
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	h := recoverPanic(log, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/analyze", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler status = %d; want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "internal error") {
+		t.Fatalf("500 body = %q", rec.Body.String())
 	}
 }
 

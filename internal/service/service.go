@@ -443,6 +443,63 @@ func (s *Service) Bound(ctx context.Context, req BoundRequest) (BoundResponse, e
 	return resp, nil
 }
 
+// CheckRequest asks for static verification only: compile the source and
+// run the checker, but never simulate or bound it.
+type CheckRequest struct {
+	Source string `json:"source"`
+}
+
+// CheckResponse is the outcome of POST /v1/check. OK means no
+// error-severity findings; warnings and infos ride along either way.
+type CheckResponse struct {
+	OK          bool              `json:"ok"`
+	Diagnostics []macs.Diagnostic `json:"diagnostics"`
+	// Rendered carries the diagnostics formatted with the instruction text
+	// they anchor to, for human display.
+	Rendered []string `json:"rendered,omitempty"`
+	Cached   bool     `json:"cached"`
+}
+
+// Check compiles a source and statically verifies the generated code.
+// Findings are the result, not an error: a program full of problems still
+// answers 200 with OK=false.
+func (s *Service) Check(ctx context.Context, req CheckRequest) (CheckResponse, error) {
+	start := time.Now()
+	key, err := NewKey("check", req.Source, s.cfg.Compiler, s.cfg.VM, s.cfg.Rules, int64(0))
+	if err != nil {
+		s.observe("check", start, false, err)
+		return CheckResponse{}, err
+	}
+	v, cached, err := s.do(ctx, key, func() (any, error) {
+		p, err := macs.Compile(req.Source, s.cfg.Compiler)
+		if err != nil {
+			return nil, err
+		}
+		ds := macs.Verify(p)
+		resp := &CheckResponse{OK: !hasVerifyErrors(ds), Diagnostics: ds}
+		for _, d := range ds {
+			resp.Rendered = append(resp.Rendered, d.Render(p))
+		}
+		return resp, nil
+	})
+	s.observe("check", start, cached, err)
+	if err != nil {
+		return CheckResponse{}, err
+	}
+	resp := *v.(*CheckResponse)
+	resp.Cached = cached
+	return resp, nil
+}
+
+func hasVerifyErrors(ds []macs.Diagnostic) bool {
+	for _, d := range ds {
+		if d.Severity == macs.SevError {
+			return true
+		}
+	}
+	return false
+}
+
 // AXRequest asks for the A-process / X-process measurement of a source.
 type AXRequest struct {
 	Source string  `json:"source"`

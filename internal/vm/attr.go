@@ -18,6 +18,8 @@ import (
 )
 
 // StallCause classifies one non-issue cycle of a machine lane.
+//
+// macsvet:exhaustive
 type StallCause int
 
 // The attribution taxonomy. Pipe lanes use all of them; the ASU lane uses

@@ -46,6 +46,7 @@ import (
 	"macs/internal/ftn"
 	"macs/internal/lfk"
 	"macs/internal/vectorize"
+	"macs/internal/verify"
 	"macs/internal/vm"
 )
 
@@ -84,6 +85,20 @@ type (
 	StallCause = vm.StallCause
 	// TraceEvent records the timing of one vector instruction.
 	TraceEvent = vm.TraceEvent
+	// Diagnostic is one finding of the static program checker.
+	Diagnostic = verify.Diagnostic
+	// VerifyError is the error a rejected program carries: its full
+	// diagnostic list (errors.As-compatible).
+	VerifyError = verify.Error
+	// Severity grades a checker Diagnostic.
+	Severity = verify.Severity
+)
+
+// Diagnostic severities, least to most severe.
+const (
+	SevInfo    = verify.SevInfo
+	SevWarning = verify.SevWarning
+	SevError   = verify.SevError
 )
 
 // Defaults for the C-240 configuration.
@@ -102,6 +117,17 @@ func Compile(src string, opts CompilerOptions) (*Program, error) {
 
 // ParseAsm parses assembly text into a Program.
 func ParseAsm(src string) (*Program, error) { return asm.Parse(src) }
+
+// Verify statically checks a program (use-before-def, VL/VS discipline,
+// branch targets, static memory bounds, chime-resource conflicts) and
+// returns every finding, most severe first per instruction.
+func Verify(p *Program) []Diagnostic { return verify.Check(p) }
+
+// VerifyProgram gates a program: nil when Verify reports no
+// error-severity findings, otherwise a *VerifyError holding them all.
+// AnalyzeSource and BoundSource apply this gate to compiled code before
+// the model or the simulator ever see it.
+func VerifyProgram(p *Program) error { return verify.Must(p) }
 
 // Kernels returns the ten LFK kernels of the paper's case study.
 func Kernels() []*Kernel { return lfk.All() }
@@ -151,6 +177,9 @@ func boundSource(src string, opts CompilerOptions, vl int, rules Rules) (*Progra
 	prog, err := compiler.Compile(src, opts)
 	if err != nil {
 		return nil, a, err
+	}
+	if err := verify.Must(prog); err != nil {
+		return prog, a, err
 	}
 	parsed, err := ftn.Parse(src)
 	if err != nil {
