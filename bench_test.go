@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"testing"
 
+	"macs"
 	"macs/internal/asm"
 	"macs/internal/calib"
 	"macs/internal/compiler"
@@ -31,6 +32,7 @@ import (
 )
 
 func BenchmarkTable1Calibration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := calib.CalibrateAll(vm.DefaultConfig())
 		if err != nil {
@@ -48,6 +50,7 @@ func BenchmarkTable1Calibration(b *testing.B) {
 }
 
 func BenchmarkTable2Workload(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table2(experiments.Default())
 		if err != nil {
@@ -64,6 +67,7 @@ func BenchmarkTable2Workload(b *testing.B) {
 }
 
 func BenchmarkTable3Bounds(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table3(experiments.Default())
 		if err != nil {
@@ -80,6 +84,7 @@ func BenchmarkTable3Bounds(b *testing.B) {
 }
 
 func BenchmarkTable4Comparison(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t4, err := experiments.RunTable4(experiments.Default())
 		if err != nil {
@@ -94,6 +99,7 @@ func BenchmarkTable4Comparison(b *testing.B) {
 }
 
 func BenchmarkTable5AX(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunTable5(experiments.Default())
 		if err != nil {
@@ -113,6 +119,7 @@ func BenchmarkTable5AX(b *testing.B) {
 }
 
 func BenchmarkFigure1Hierarchy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure1(experiments.Default()); err != nil {
 			b.Fatal(err)
@@ -121,6 +128,7 @@ func BenchmarkFigure1Hierarchy(b *testing.B) {
 }
 
 func BenchmarkFigure2Chaining(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		fig, err := experiments.RunFigure2(experiments.Default())
 		if err != nil {
@@ -135,6 +143,7 @@ func BenchmarkFigure2Chaining(b *testing.B) {
 }
 
 func BenchmarkFigure3Contention(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, slow, err := experiments.RunFigure3(experiments.Default())
 		if err != nil {
@@ -178,18 +187,22 @@ func benchmarkAblation(b *testing.B, mutate func(*experiments.Config)) {
 }
 
 func BenchmarkAblationBaseline(b *testing.B) {
+	b.ReportAllocs()
 	benchmarkAblation(b, func(cfg *experiments.Config) {})
 }
 
 func BenchmarkAblationNoChaining(b *testing.B) {
+	b.ReportAllocs()
 	benchmarkAblation(b, func(cfg *experiments.Config) { cfg.VM.Rules.Chaining = false })
 }
 
 func BenchmarkAblationNoBubbles(b *testing.B) {
+	b.ReportAllocs()
 	benchmarkAblation(b, func(cfg *experiments.Config) { cfg.VM.Rules.Bubbles = false })
 }
 
 func BenchmarkAblationNoRefresh(b *testing.B) {
+	b.ReportAllocs()
 	benchmarkAblation(b, func(cfg *experiments.Config) {
 		cfg.VM.RefreshStalls = false
 		cfg.VM.Rules.Refresh = false
@@ -197,16 +210,19 @@ func BenchmarkAblationNoRefresh(b *testing.B) {
 }
 
 func BenchmarkAblationNoPairRule(b *testing.B) {
+	b.ReportAllocs()
 	benchmarkAblation(b, func(cfg *experiments.Config) { cfg.VM.Rules.PairRule = false })
 }
 
 func BenchmarkAblationNoSplitRule(b *testing.B) {
+	b.ReportAllocs()
 	benchmarkAblation(b, func(cfg *experiments.Config) { cfg.VM.Rules.SplitRule = false })
 }
 
 // BenchmarkAblationScalarBaseline compiles every kernel with
 // vectorization disabled: the scalar machine the VP is compared against.
 func BenchmarkAblationScalarBaseline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opts := compiler.DefaultOptions()
 		opts.ForceScalar = true
@@ -229,30 +245,102 @@ func BenchmarkAblationScalarBaseline(b *testing.B) {
 }
 
 // Per-kernel simulation benches: how fast the simulator itself runs.
+// BenchmarkLFK is the fast path (pooled simulator, memoized stream-stall
+// table); BenchmarkLFKNaive is the reference path (fresh simulator per
+// run, naive bank walk). Both report the simulation rate in simulated
+// cycles per wall-clock second; the benchgate regression tool tracks the
+// fast path's aggregate rate.
 func BenchmarkLFK(b *testing.B) {
+	pool := vm.NewPool(vm.DefaultConfig())
 	for _, k := range lfk.All() {
 		k := k
 		b.Run(fmt.Sprintf("lfk%d", k.ID), func(b *testing.B) {
+			b.ReportAllocs()
 			c, err := lfk.Compile(k, compiler.DefaultOptions())
 			if err != nil {
 				b.Fatal(err)
 			}
-			var cycles int64
+			var cycles, total int64
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				st, _, err := c.Run(vm.DefaultConfig())
+				cpu := pool.Get()
+				st, err := c.RunOn(cpu)
+				pool.Put(cpu)
 				if err != nil {
 					b.Fatal(err)
 				}
 				cycles = st.Cycles
+				total += st.Cycles
 			}
+			b.StopTimer()
 			b.ReportMetric(k.CPL(cycles), "CPL")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(total)/secs, "cycles/sec")
+			}
 		})
 	}
+}
+
+// BenchmarkLFKNaive runs the same kernels over a fresh simulator and the
+// naive bank walk every iteration: the before picture the fast path is
+// measured against.
+func BenchmarkLFKNaive(b *testing.B) {
+	cfg := vm.DefaultConfig()
+	cfg.NaiveMemPath = true
+	for _, k := range lfk.All() {
+		k := k
+		b.Run(fmt.Sprintf("lfk%d", k.ID), func(b *testing.B) {
+			b.ReportAllocs()
+			c, err := lfk.Compile(k, compiler.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, _, err := c.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += st.Cycles
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(total)/secs, "cycles/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeSourceVM measures the service's cold path — compile,
+// bound, simulate — one-shot (fresh simulator per call) and pooled
+// (Analyzer), on LFK1 source.
+func BenchmarkAnalyzeSourceVM(b *testing.B) {
+	k := lfk.All()[0]
+	cfg := macs.DefaultVMConfig()
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := macs.AnalyzeSourceVM(k.Source, int64(k.Elements), cfg, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		an := macs.NewAnalyzer(cfg)
+		for i := 0; i < b.N; i++ {
+			if _, err := an.AnalyzeSource(k.Source, int64(k.Elements), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkChimePartitioner measures the bounds model itself (pure
 // arithmetic, no simulation).
 func BenchmarkChimePartitioner(b *testing.B) {
+	b.ReportAllocs()
 	k, err := lfk.ByID(8)
 	if err != nil {
 		b.Fatal(err)
@@ -276,6 +364,7 @@ func BenchmarkChimePartitioner(b *testing.B) {
 
 // BenchmarkContentionArbiter measures the 4-port bank arbiter.
 func BenchmarkContentionArbiter(b *testing.B) {
+	b.ReportAllocs()
 	cfg := mem.DefaultConfig()
 	for i := 0; i < b.N; i++ {
 		if s := mem.ContentionSlowdown(cfg, 4, true, 2000); s < 1 {
@@ -296,6 +385,7 @@ func asmInnerLoop(c *lfk.Compiled) ([]isa.Instr, bool) {
 // BenchmarkExtensionBounds regenerates the extension table (t_MACS+ and
 // t_MACSD for every kernel).
 func BenchmarkExtensionBounds(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunExtended(experiments.Default())
 		if err != nil {
@@ -317,6 +407,7 @@ func BenchmarkExtensionBounds(b *testing.B) {
 // BenchmarkClusterCoSimulation co-simulates four copies of every kernel
 // over the shared banks (the paper's same-executable lockstep case).
 func BenchmarkClusterCoSimulation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunClusterContention(experiments.Default())
 		if err != nil {
@@ -335,6 +426,7 @@ func BenchmarkClusterCoSimulation(b *testing.B) {
 // BenchmarkMachineComparison runs the suite across machine presets
 // (C-240, Cray-1-like, Cray-2-like).
 func BenchmarkMachineComparison(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunMachineComparison()
 		if err != nil {

@@ -1,0 +1,261 @@
+// Command benchgate guards the simulation engine's fast path against
+// performance regressions. It runs the per-kernel LFK benchmarks
+// (BenchmarkLFK, the pooled/memoized fast path, and BenchmarkLFKNaive,
+// the fresh-simulator reference), writes a machine-readable report, and
+// compares against a committed baseline.
+//
+// Absolute simulation rates vary with hardware, so the gate is on
+// machine-neutral quantities measured in the same process: the fast/naive
+// speedup ratio and the fast path's allocations per run. A >10% drop in
+// speedup, or allocation growth beyond tolerance, fails the gate.
+//
+// Usage:
+//
+//	benchgate                      # run, compare against BENCH_5.json
+//	benchgate -update              # run and rewrite the baseline
+//	benchgate -count 3             # best-of-3 to damp benchtime=1x noise
+//	benchgate -tolerance 0.10     # allowed relative regression
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// KernelBench is one kernel's benchmark outcome.
+type KernelBench struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// Aggregate summarizes a whole pass: total simulated cycles divided by
+// total wall time, and summed allocations for one run of every kernel.
+type Aggregate struct {
+	FastCyclesPerSec  float64 `json:"fast_cycles_per_sec"`
+	NaiveCyclesPerSec float64 `json:"naive_cycles_per_sec"`
+	// Speedup is the machine-neutral gate metric: fast aggregate rate
+	// over naive aggregate rate, both measured in this process.
+	Speedup     float64 `json:"speedup"`
+	FastAllocs  float64 `json:"fast_allocs_per_sweep"`
+	NaiveAllocs float64 `json:"naive_allocs_per_sweep"`
+}
+
+// Report is the BENCH_5.json document.
+type Report struct {
+	Fast      map[string]KernelBench `json:"fast"`
+	Naive     map[string]KernelBench `json:"naive"`
+	Aggregate Aggregate              `json:"aggregate"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_5.json", "committed baseline to gate against")
+	out := flag.String("out", "BENCH_5.json", "where to write this run's report")
+	update := flag.Bool("update", false, "rewrite the baseline instead of gating")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed relative regression")
+	count := flag.Int("count", 1, "benchmark repetitions; the best run per kernel is kept")
+	dir := flag.String("dir", ".", "module directory containing the benchmarks")
+	flag.Parse()
+
+	if err := run(*baseline, *out, *update, *tolerance, *count, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baseline, out string, update bool, tolerance float64, count int, dir string) error {
+	if count < 1 {
+		count = 1
+	}
+	rep, err := measure(count, dir)
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+
+	if !update {
+		if err := gate(rep, baseline, tolerance); err != nil {
+			return err
+		}
+	}
+	if out != "" && (update || out != baseline) {
+		if err := writeReport(out, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+// measure runs the LFK benchmarks and folds the output into a Report,
+// keeping the best (highest-rate) run per kernel.
+func measure(count int, dir string) (Report, error) {
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", "^(BenchmarkLFK|BenchmarkLFKNaive)$",
+		"-benchtime", "1x", "-benchmem",
+		"-count", strconv.Itoa(count),
+		".",
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	outBytes, err := cmd.CombinedOutput()
+	if err != nil {
+		return Report{}, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, outBytes)
+	}
+	rep := Report{Fast: map[string]KernelBench{}, Naive: map[string]KernelBench{}}
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		name, kb, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		kernel := name[strings.Index(name, "/")+1:]
+		var into map[string]KernelBench
+		switch {
+		case strings.HasPrefix(name, "BenchmarkLFKNaive/"):
+			into = rep.Naive
+		case strings.HasPrefix(name, "BenchmarkLFK/"):
+			into = rep.Fast
+		default:
+			continue
+		}
+		if prev, seen := into[kernel]; !seen || kb.CyclesPerSec > prev.CyclesPerSec {
+			into[kernel] = kb
+		}
+	}
+	if len(rep.Fast) == 0 || len(rep.Naive) == 0 {
+		return rep, fmt.Errorf("no benchmark lines parsed from go test output:\n%s", outBytes)
+	}
+	rep.Aggregate = aggregate(rep)
+	return rep, nil
+}
+
+// parseBenchLine reads one `go test -bench` result line. Values are
+// `<number> <unit>` pairs after the iteration count.
+func parseBenchLine(line string) (string, KernelBench, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", KernelBench{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		name = name[:i] // strip -GOMAXPROCS
+	}
+	var kb KernelBench
+	got := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", KernelBench{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			kb.NsPerOp = v
+			got = true
+		case "cycles/sec":
+			kb.CyclesPerSec = v
+		case "B/op":
+			kb.BytesPerOp = v
+		case "allocs/op":
+			kb.AllocsPerOp = v
+		}
+	}
+	return name, kb, got
+}
+
+// aggregate computes whole-sweep rates: per-kernel simulated cycles are
+// recovered from rate × time, then totals are divided.
+func aggregate(rep Report) Aggregate {
+	rate := func(m map[string]KernelBench) (cps, allocs float64) {
+		var cycles, ns float64
+		for _, kb := range m {
+			cycles += kb.CyclesPerSec * kb.NsPerOp / 1e9
+			ns += kb.NsPerOp
+			allocs += kb.AllocsPerOp
+		}
+		if ns == 0 {
+			return 0, allocs
+		}
+		return cycles / (ns / 1e9), allocs
+	}
+	var a Aggregate
+	a.FastCyclesPerSec, a.FastAllocs = rate(rep.Fast)
+	a.NaiveCyclesPerSec, a.NaiveAllocs = rate(rep.Naive)
+	if a.NaiveCyclesPerSec > 0 {
+		a.Speedup = a.FastCyclesPerSec / a.NaiveCyclesPerSec
+	}
+	return a
+}
+
+// gate compares this run against the baseline report.
+func gate(rep Report, baseline string, tolerance float64) error {
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("no baseline %s; run with -update to create one", baseline)
+		}
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baseline, err)
+	}
+	floor := base.Aggregate.Speedup * (1 - tolerance)
+	if rep.Aggregate.Speedup < floor {
+		return fmt.Errorf("sim-rate regression: fast/naive speedup %.2fx is below %.2fx (baseline %.2fx - %.0f%%)",
+			rep.Aggregate.Speedup, floor, base.Aggregate.Speedup, tolerance*100)
+	}
+	ceil := base.Aggregate.FastAllocs * (1 + tolerance)
+	if base.Aggregate.FastAllocs > 0 && rep.Aggregate.FastAllocs > ceil {
+		return fmt.Errorf("allocation regression: fast sweep allocates %.0f objects, baseline %.0f (+%.0f%% allowed)",
+			rep.Aggregate.FastAllocs, base.Aggregate.FastAllocs, tolerance*100)
+	}
+	fmt.Printf("gate ok: speedup %.2fx (baseline %.2fx, floor %.2fx), sweep allocs %.0f (ceiling %.0f)\n",
+		rep.Aggregate.Speedup, base.Aggregate.Speedup, floor, rep.Aggregate.FastAllocs, ceil)
+	return nil
+}
+
+func writeReport(path string, rep Report) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func printReport(rep Report) {
+	kernels := make([]string, 0, len(rep.Fast))
+	for k := range rep.Fast {
+		kernels = append(kernels, k)
+	}
+	sort.Slice(kernels, func(i, j int) bool {
+		return kernelOrd(kernels[i]) < kernelOrd(kernels[j])
+	})
+	fmt.Printf("%-8s %15s %15s %10s %12s\n", "kernel", "fast cyc/s", "naive cyc/s", "speedup", "allocs/op")
+	for _, k := range kernels {
+		f, n := rep.Fast[k], rep.Naive[k]
+		sp := 0.0
+		if n.CyclesPerSec > 0 {
+			sp = f.CyclesPerSec / n.CyclesPerSec
+		}
+		fmt.Printf("%-8s %15.0f %15.0f %9.1fx %12.0f\n", k, f.CyclesPerSec, n.CyclesPerSec, sp, f.AllocsPerOp)
+	}
+	a := rep.Aggregate
+	fmt.Printf("%-8s %15.0f %15.0f %9.1fx %12.0f\n", "all", a.FastCyclesPerSec, a.NaiveCyclesPerSec, a.Speedup, a.FastAllocs)
+}
+
+// kernelOrd sorts lfk2 before lfk10.
+func kernelOrd(name string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(name, "lfk"))
+	if err != nil {
+		return 1 << 20
+	}
+	return n
+}

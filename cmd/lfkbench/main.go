@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	lfkbench            # everything
-//	lfkbench -table 4   # one table (1-5)
-//	lfkbench -figure 3  # one figure (1-3)
+//	lfkbench              # everything
+//	lfkbench -table 4     # one table (1-5)
+//	lfkbench -figure 3    # one figure (1-3)
+//	lfkbench -parallel 0  # fan each sweep out over all cores
 package main
 
 import (
@@ -20,9 +21,14 @@ import (
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-8; 6 extension, 7 co-simulation, 8 machines); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate one figure (1-3); 0 = all")
+	parallel := flag.Int("parallel", 1, "kernels simulated concurrently per sweep; 0 = one per core")
 	flag.Parse()
 
 	cfg := experiments.Default()
+	cfg.Parallel = *parallel
+	if *parallel == 0 {
+		cfg.Parallel = -1 // experiments: negative = one worker per core
+	}
 	all := *table == 0 && *figure == 0
 	if err := run(cfg, *table, *figure, all); err != nil {
 		fmt.Fprintln(os.Stderr, "lfkbench:", err)

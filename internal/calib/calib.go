@@ -12,6 +12,7 @@ import (
 
 	"macs/internal/asm"
 	"macs/internal/isa"
+	"macs/internal/par"
 	"macs/internal/vm"
 )
 
@@ -181,15 +182,28 @@ func Calibrate(op isa.Op, cfg vm.Config) (Result, error) {
 	return res, nil
 }
 
-// CalibrateAll measures every Table 1 instruction type.
+// CalibrateAll measures every Table 1 instruction type sequentially.
 func CalibrateAll(cfg vm.Config) ([]Result, error) {
-	var out []Result
-	for _, op := range Table1Ops() {
-		r, err := Calibrate(op, cfg)
+	return CalibrateAllN(cfg, 1)
+}
+
+// CalibrateAllN is CalibrateAll with a bounded fan-out: each instruction
+// type is calibrated on its own simulator, up to `workers` concurrently
+// (workers < 1 selects one per core). Results are ordered by instruction
+// type regardless of fan-out.
+func CalibrateAllN(cfg vm.Config, workers int) ([]Result, error) {
+	ops := Table1Ops()
+	out := make([]Result, len(ops))
+	err := par.ForEach(par.Workers(workers), len(ops), func(i int) error {
+		r, err := Calibrate(ops[i], cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -77,13 +77,24 @@ func NewChimeBuilder(rules Rules) *ChimeBuilder {
 
 func (b *ChimeBuilder) reset() {
 	b.cur = Chime{}
-	b.pipesUsed = make(map[isa.Pipe]bool)
+	// Reuse the maps: reset runs once per flushed chime, and reallocating
+	// them is measurable churn in the simulator's hot loop.
+	if b.pipesUsed == nil {
+		b.pipesUsed = make(map[isa.Pipe]bool)
+		b.writers = make(map[isa.Reg]isa.Op)
+	} else {
+		clear(b.pipesUsed)
+		clear(b.writers)
+	}
 	b.pairReads = [4]int{}
 	b.pairWrites = [4]int{}
-	b.writers = make(map[isa.Reg]isa.Op)
 	b.scalarMem = false
 	b.closed = false
 }
+
+// Reset discards any forming chime and returns the builder to its initial
+// state, reusing its allocations (for pooled simulator reuse).
+func (b *ChimeBuilder) Reset() { b.reset() }
 
 // Empty reports whether the forming chime has no members.
 func (b *ChimeBuilder) Empty() bool { return len(b.cur.Members) == 0 }

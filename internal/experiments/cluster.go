@@ -41,7 +41,7 @@ func RunClusterContention(cfg Config) ([]ClusterRow, error) {
 			if err := cpu.Load(c.Program); err != nil {
 				return nil, err
 			}
-			if err := primeKernel(c, cpu); err != nil {
+			if err := c.PrimeData(cpu); err != nil {
 				return nil, err
 			}
 		}

@@ -16,6 +16,7 @@ import (
 	"macs/internal/core"
 	"macs/internal/lfk"
 	"macs/internal/mem"
+	"macs/internal/par"
 	"macs/internal/vm"
 )
 
@@ -27,6 +28,19 @@ type Config struct {
 	// multi-process bars; <=0 derives it from the bank-arbiter contention
 	// simulation of four different programs.
 	MultiSlowdown float64
+	// Parallel is the sweep fan-out: how many kernels RunAll and the
+	// table generators process concurrently, each on its own simulator.
+	// 0 or 1 runs sequentially (the historical behavior); n > 1 uses n
+	// workers; negative uses one worker per core.
+	Parallel int
+}
+
+// workers maps the Parallel knob onto a worker count for par.ForEach.
+func (c Config) workers() int {
+	if c.Parallel == 0 {
+		return 1
+	}
+	return par.Workers(c.Parallel)
 }
 
 // Default returns the standard experiment configuration.
@@ -89,67 +103,37 @@ func RunKernel(k *lfk.Kernel, cfg Config) (KernelResult, error) {
 	res.Validated = true
 	res.Cycles = st.Cycles
 	res.Stats = st
-	res.AX, err = ax.Measure(c.Program, cfg.VM, func(cpu *vm.CPU) error {
-		return primeKernel(c, cpu)
-	})
+	res.AX, err = ax.Measure(c.Program, cfg.VM, c.PrimeData)
 	if err != nil {
 		return res, err
 	}
 	return res, nil
 }
 
-// RunAll measures every kernel of the case study.
+// RunAll measures every kernel of the case study. With cfg.Parallel > 1
+// kernels run concurrently, one simulator per goroutine; results are
+// ordered by kernel regardless of fan-out.
 func RunAll(cfg Config) ([]KernelResult, error) {
-	var out []KernelResult
-	for _, k := range lfk.All() {
-		r, err := RunKernel(k, cfg)
+	ks := lfk.All()
+	out := make([]KernelResult, len(ks))
+	err := par.ForEach(cfg.workers(), len(ks), func(i int) error {
+		r, err := RunKernel(ks[i], cfg)
 		if err != nil {
-			return nil, fmt.Errorf("lfk%d: %w", k.ID, err)
+			return fmt.Errorf("lfk%d: %w", ks[i].ID, err)
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-func primeKernel(c *lfk.Compiled, cpu *vm.CPU) error {
-	k := c.Kernel
-	m := cpu.Memory()
-	for name, val := range k.Ints {
-		base, ok := m.SymbolAddr(compiler.DataSym(name))
-		if !ok {
-			return fmt.Errorf("symbol %s missing", name)
-		}
-		if err := m.WriteI64(base, val); err != nil {
-			return err
-		}
-	}
-	for name, val := range k.Reals {
-		base, ok := m.SymbolAddr(compiler.DataSym(name))
-		if !ok {
-			return fmt.Errorf("symbol %s missing", name)
-		}
-		if err := m.WriteF64(base, val); err != nil {
-			return err
-		}
-	}
-	for name, vals := range k.Arrays {
-		base, ok := m.SymbolAddr(compiler.DataSym(name))
-		if !ok {
-			return fmt.Errorf("symbol %s missing", name)
-		}
-		for i, v := range vals {
-			if err := m.WriteF64(base+int64(i*8), v); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
 // Table1 regenerates the vector instruction timing table from calibration
-// loops run on the simulated machine.
+// loops run on the simulated machine, fanning out per cfg.Parallel.
 func Table1(cfg Config) ([]calib.Result, error) {
-	return calib.CalibrateAll(cfg.VM)
+	return calib.CalibrateAllN(cfg.VM, cfg.workers())
 }
 
 // Table2Row is one kernel's MA and MAC workload.
@@ -160,25 +144,31 @@ type Table2Row struct {
 
 // Table2 regenerates the LFK workload table.
 func Table2(cfg Config) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, k := range lfk.All() {
+	ks := lfk.All()
+	rows := make([]Table2Row, len(ks))
+	err := par.ForEach(cfg.workers(), len(ks), func(i int) error {
+		k := ks[i]
 		c, err := lfk.Compile(k, cfg.Compiler)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		loop, ok := asm.InnerVectorLoop(c.Program)
 		if !ok {
-			return nil, fmt.Errorf("lfk%d: no vector loop", k.ID)
+			return fmt.Errorf("lfk%d: no vector loop", k.ID)
 		}
 		ma, err := compiler.MAWorkload(k.Source)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table2Row{
+		rows[i] = Table2Row{
 			ID:  k.ID,
 			MA:  ma,
 			MAC: core.WorkloadFromAssembly(loop.Body),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -193,15 +183,17 @@ type Table3Row struct {
 
 // Table3 regenerates the performance-bounds table.
 func Table3(cfg Config) ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, k := range lfk.All() {
+	ks := lfk.All()
+	rows := make([]Table3Row, len(ks))
+	err := par.ForEach(cfg.workers(), len(ks), func(i int) error {
+		k := ks[i]
 		c, err := lfk.Compile(k, cfg.Compiler)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		loop, _ := asm.InnerVectorLoop(c.Program)
 		a := core.Analyze(k.Paper.MA, loop.Body, cfg.VM.VLMax, cfg.VM.Rules)
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			ID:     k.ID,
 			TM:     a.MA.TM(),
 			TMp:    a.MAC.TM(),
@@ -212,7 +204,11 @@ func Table3(cfg Config) ([]Table3Row, error) {
 			TMA:    a.TMA,
 			TMAC:   a.TMAC,
 			TMACS:  a.MACS.CPL,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

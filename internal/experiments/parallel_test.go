@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"macs/internal/calib"
+)
+
+// TestRunAllParallelMatchesSequential is the sweep-runner gate: fanning
+// the kernels out over goroutines must reproduce the sequential results
+// exactly — same order, same Stats, same attribution ledgers.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel sweep")
+	}
+	seq := Default()
+	parCfg := Default()
+	parCfg.Parallel = 4
+
+	want, err := RunAll(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunAll(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parallel RunAll returned %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		// Kernel carries a func-valued Reference field, which DeepEqual
+		// can never match across two lfk.All() calls — compare its ID and
+		// every measured field instead.
+		if got[i].Kernel.ID != want[i].Kernel.ID {
+			t.Fatalf("result %d: kernel %d, want %d", i, got[i].Kernel.ID, want[i].Kernel.ID)
+		}
+		g, w := got[i], want[i]
+		g.Kernel, w.Kernel = nil, nil
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("lfk%d: parallel result diverges from sequential:\ngot  %+v\nwant %+v",
+				want[i].Kernel.ID, g, w)
+		}
+	}
+}
+
+func TestTablesParallelMatchSequential(t *testing.T) {
+	seq := Default()
+	parCfg := Default()
+	parCfg.Parallel = 4
+
+	t2s, err := Table2(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2p, err := Table2(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t2p, t2s) {
+		t.Fatal("parallel Table2 diverges from sequential")
+	}
+
+	t3s, err := Table3(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3p, err := Table3(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t3p, t3s) {
+		t.Fatal("parallel Table3 diverges from sequential")
+	}
+}
+
+func TestCalibrateAllNMatchesSequential(t *testing.T) {
+	cfg := Default()
+	want, err := calib.CalibrateAll(cfg.VM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := calib.CalibrateAllN(cfg.VM, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel calibration diverges from sequential")
+	}
+}

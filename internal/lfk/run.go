@@ -28,41 +28,56 @@ func Compile(k *Kernel, opts compiler.Options) (*Compiled, error) {
 // inputs.
 func (c *Compiled) NewCPU(cfg vm.Config) (*vm.CPU, error) {
 	cpu := vm.New(cfg)
-	if err := cpu.Load(c.Program); err != nil {
+	if err := c.Prime(cpu); err != nil {
 		return nil, err
 	}
+	return cpu, nil
+}
+
+// Prime loads the kernel's program into a ready (fresh or pooled-and-
+// reset) simulator and writes its input scalars and arrays into memory.
+func (c *Compiled) Prime(cpu *vm.CPU) error {
+	if err := cpu.Load(c.Program); err != nil {
+		return err
+	}
+	return c.PrimeData(cpu)
+}
+
+// PrimeData writes the kernel's input scalars and arrays into the memory
+// of a simulator that already has the program loaded.
+func (c *Compiled) PrimeData(cpu *vm.CPU) error {
 	m := cpu.Memory()
 	k := c.Kernel
 	for name, val := range k.Ints {
 		base, ok := m.SymbolAddr(compiler.DataSym(name))
 		if !ok {
-			return nil, fmt.Errorf("lfk%d: symbol %s missing", k.ID, name)
+			return fmt.Errorf("lfk%d: symbol %s missing", k.ID, name)
 		}
 		if err := m.WriteI64(base, val); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for name, val := range k.Reals {
 		base, ok := m.SymbolAddr(compiler.DataSym(name))
 		if !ok {
-			return nil, fmt.Errorf("lfk%d: symbol %s missing", k.ID, name)
+			return fmt.Errorf("lfk%d: symbol %s missing", k.ID, name)
 		}
 		if err := m.WriteF64(base, val); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for name, vals := range k.Arrays {
 		base, ok := m.SymbolAddr(compiler.DataSym(name))
 		if !ok {
-			return nil, fmt.Errorf("lfk%d: symbol %s missing", k.ID, name)
+			return fmt.Errorf("lfk%d: symbol %s missing", k.ID, name)
 		}
 		for i, v := range vals {
 			if err := m.WriteF64(base+int64(i*8), v); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return cpu, nil
+	return nil
 }
 
 // Run executes the primed kernel and returns the simulator statistics.
@@ -76,6 +91,20 @@ func (c *Compiled) Run(cfg vm.Config) (vm.Stats, *vm.CPU, error) {
 		return st, cpu, fmt.Errorf("lfk%d: %w", c.Kernel.ID, err)
 	}
 	return st, cpu, nil
+}
+
+// RunOn primes the kernel into an existing simulator (typically one from
+// a vm.Pool, already Reset) and runs it: the fast path of the per-kernel
+// benchmarks and the parallel sweep runner.
+func (c *Compiled) RunOn(cpu *vm.CPU) (vm.Stats, error) {
+	if err := c.Prime(cpu); err != nil {
+		return vm.Stats{}, err
+	}
+	st, err := cpu.Run()
+	if err != nil {
+		return st, fmt.Errorf("lfk%d: %w", c.Kernel.ID, err)
+	}
+	return st, nil
 }
 
 // Validate compares the simulator's memory against the kernel's Go

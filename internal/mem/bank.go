@@ -9,9 +9,13 @@ import "macs/internal/isa"
 // A bank is busy for cfg.BankCycle cycles after each access. During a
 // refresh window (every RefreshPeriod cycles, RefreshLen long) the whole
 // memory is unavailable.
+//
+// A BankModel is not safe for concurrent use; the probing methods reuse a
+// scratch buffer.
 type BankModel struct {
 	cfg       Config
 	busyUntil []int64
+	scratch   []int64 // zero-state probe buffer for StreamStallParts
 }
 
 // NewBankModel creates a bank timing model.
@@ -56,30 +60,19 @@ func (b *BankModel) StreamStall(start int64, base int64, strideBytes int64, n in
 // StreamStallParts is StreamStall with the stall decomposed by mechanism:
 // cycles spent waiting for a busy bank versus cycles spent waiting out
 // refresh windows (bankStall + refreshStall == StreamStall). Like
-// StreamStall it probes a private copy of the bank state.
+// StreamStall it probes zero bank state rather than disturbing the
+// model's. This is the naive reference walk; StallTable is the memoized
+// fast path, and the two must agree exactly (see the differential tests).
 func (b *BankModel) StreamStallParts(start, base, strideBytes int64, n int) (bankStall, refreshStall int64) {
 	if n <= 0 {
 		return 0, 0
 	}
-	probe := NewBankModel(b.cfg)
-	t := start
-	addr := base
-	for i := 0; i < n; i++ {
-		// Access decomposed: first wait for the bank to go idle, then for
-		// the next refresh-free cycle.
-		bank := b.cfg.BankOf(addr)
-		bt := t
-		if probe.busyUntil[bank] > bt {
-			bt = probe.busyUntil[bank]
-		}
-		at := b.cfg.NextFree(bt)
-		bankStall += bt - t
-		refreshStall += at - bt
-		probe.busyUntil[bank] = at + int64(b.cfg.BankCycle)
-		t = at + 1 // next element wants to go the following cycle
-		addr += strideBytes
+	if b.scratch == nil {
+		b.scratch = make([]int64, b.cfg.Banks)
+	} else {
+		clear(b.scratch)
 	}
-	return bankStall, refreshStall
+	return streamWalk(b.cfg, b.scratch, start, base, strideBytes, n)
 }
 
 // Stream performs a timed n-element access stream against the model,
@@ -91,16 +84,35 @@ func (b *BankModel) Stream(start, base, strideBytes int64, n int) int64 {
 	if n <= 0 {
 		return 0
 	}
+	bank, refresh := streamWalk(b.cfg, b.busyUntil, start, base, strideBytes, n)
+	return bank + refresh
+}
+
+// streamWalk is the one element-level walk behind Stream, StreamStall,
+// StreamStallParts and the StallTable miss path: it advances an n-element
+// access stream (first element wanting cycle start, each later element one
+// cycle after its predecessor completes) against the per-bank busy state
+// in busy, which it mutates, and returns the stall split into bank-busy
+// and refresh waits.
+func streamWalk(cfg Config, busy []int64, start, base, strideBytes int64, n int) (bankStall, refreshStall int64) {
 	t := start
-	var stall int64
 	addr := base
 	for i := 0; i < n; i++ {
-		at := b.Access(addr, t)
-		stall += at - t
-		t = at + 1
+		// Access decomposed: first wait for the bank to go idle, then for
+		// the next refresh-free cycle.
+		bank := cfg.BankOf(addr)
+		bt := t
+		if busy[bank] > bt {
+			bt = busy[bank]
+		}
+		at := cfg.NextFree(bt)
+		bankStall += bt - t
+		refreshStall += at - bt
+		busy[bank] = at + int64(cfg.BankCycle)
+		t = at + 1 // next element wants to go the following cycle
 		addr += strideBytes
 	}
-	return stall
+	return bankStall, refreshStall
 }
 
 // UnitStrideConflictFree reports whether a stream with the given byte

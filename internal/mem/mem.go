@@ -41,6 +41,10 @@ type Memory struct {
 	symbols map[string]int64
 	sizes   map[string]int64
 	next    int64
+	// dirty is the write high-water mark (one past the highest byte ever
+	// written), so Reset can rezero only what a run actually touched
+	// instead of reallocating the whole image.
+	dirty int64
 }
 
 // New creates a memory of the given size in bytes.
@@ -55,6 +59,18 @@ func New(size int64) *Memory {
 
 // Size returns the memory size in bytes.
 func (m *Memory) Size() int64 { return int64(len(m.bytes)) }
+
+// Reset restores the memory to its freshly-created state — all bytes zero,
+// no symbols — without reallocating. Only the written region is rezeroed,
+// which is what makes pooled simulator reuse cheap: a reset after a
+// kernel run touches kilobytes, not the whole multi-megabyte image.
+func (m *Memory) Reset() {
+	clear(m.bytes[:m.dirty])
+	clear(m.symbols)
+	clear(m.sizes)
+	m.next = 64
+	m.dirty = 0
+}
 
 // Alloc reserves size bytes for a named symbol, 8-byte aligned, and returns
 // its base address. Allocating an existing name returns the existing base
@@ -111,6 +127,9 @@ func (m *Memory) WriteF64(addr int64, v float64) error {
 		return err
 	}
 	binary.LittleEndian.PutUint64(m.bytes[addr:], math.Float64bits(v))
+	if addr+8 > m.dirty {
+		m.dirty = addr + 8
+	}
 	return nil
 }
 
@@ -128,6 +147,9 @@ func (m *Memory) WriteI64(addr int64, v int64) error {
 		return err
 	}
 	binary.LittleEndian.PutUint64(m.bytes[addr:], uint64(v))
+	if addr+8 > m.dirty {
+		m.dirty = addr + 8
+	}
 	return nil
 }
 

@@ -1,0 +1,46 @@
+package mem
+
+import "testing"
+
+// TestMemoryReset verifies Reset restores a freshly-created state: old
+// symbols are gone, written bytes are rezeroed (via the dirty high-water
+// mark), and allocation starts over at the base address.
+func TestMemoryReset(t *testing.T) {
+	m := New(1 << 16)
+	a1, err := m.Alloc("x", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteF64(a1+64, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteI64(a1, -7); err != nil {
+		t.Fatal(err)
+	}
+
+	m.Reset()
+
+	if _, ok := m.SymbolAddr("x"); ok {
+		t.Fatal("symbol survived Reset")
+	}
+	a2, err := m.Alloc("y", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a1 {
+		t.Fatalf("allocation after Reset starts at %d, want %d", a2, a1)
+	}
+	// Re-allocating a previously used name with a different size must work.
+	if _, err := m.Alloc("x", 256); err != nil {
+		t.Fatal(err)
+	}
+	for off := int64(0); off < 128; off += 8 {
+		v, err := m.ReadF64(a1 + off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0 {
+			t.Fatalf("byte region not rezeroed at offset %d: %v", off, v)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package mem
+
+import "macs/internal/isa"
+
+// StallTable is the memoized fast path for vector-stream stall queries.
+// The element-level walk behind StreamStallParts is a pure function of the
+// model configuration and four stream parameters, and on the C-240 the
+// bank pattern is periodic: with word-aligned base and stride, element i
+// hits bank (base/8 + i*stride/8) mod Banks, so the walk's outcome depends
+// only on the start cycle's phase within the refresh period, the starting
+// bank, the word stride modulo the bank count, and the element count. The
+// table caches the walk keyed by exactly that tuple, with a closed-form
+// path for conflict-free strides that skips the walk entirely.
+//
+// A StallTable answers identically to BankModel.StreamStallParts on every
+// input (enforced by differential tests); it exists only to make repeated
+// queries cheap. It is not safe for concurrent use — each simulated CPU
+// owns one.
+type StallTable struct {
+	cfg     Config
+	memo    map[streamKey]stallParts
+	scratch []int64
+
+	hits, misses, closed int64
+}
+
+// streamKey identifies one equivalence class of stream-stall queries.
+type streamKey struct {
+	phase   int32 // start cycle modulo the refresh period (0 when refresh is off)
+	baseW   int16 // starting bank: (base/WordBytes) mod Banks
+	strideW int16 // word stride mod Banks, normalized to [0, Banks)
+	n       int32
+}
+
+type stallParts struct{ bank, refresh int64 }
+
+// maxMemoEntries bounds the table; beyond it new classes are computed but
+// not retained (the working set of real programs is far smaller).
+const maxMemoEntries = 1 << 16
+
+// NewStallTable creates an empty table for one memory configuration.
+func NewStallTable(cfg Config) *StallTable {
+	return &StallTable{
+		cfg:     cfg,
+		memo:    make(map[streamKey]stallParts),
+		scratch: make([]int64, cfg.Banks),
+	}
+}
+
+// Config returns the table's memory configuration.
+func (t *StallTable) Config() Config { return t.cfg }
+
+// Stats reports cache behaviour: memoized walks served from the table,
+// walks computed fresh, and queries answered by the closed form.
+func (t *StallTable) Stats() (hits, misses, closedForm int64) {
+	return t.hits, t.misses, t.closed
+}
+
+// StreamStall is StreamStallParts summed over both mechanisms.
+func (t *StallTable) StreamStall(start, base, strideBytes int64, n int) int64 {
+	bank, refresh := t.StreamStallParts(start, base, strideBytes, n)
+	return bank + refresh
+}
+
+// StreamStallParts answers exactly as BankModel.StreamStallParts — the
+// stall of an n-element stream decomposed into bank-busy and refresh
+// cycles — but through the memo table (or the conflict-free closed form)
+// instead of a fresh element walk per query.
+func (t *StallTable) StreamStallParts(start, base, strideBytes int64, n int) (bankStall, refreshStall int64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	cfg := t.cfg
+	// Zero-initialized bank state means "idle since cycle 0", so a stream
+	// starting at a negative cycle sees every bank as busy until 0 — the
+	// phase-class argument (and the conflict-free closed form) only hold
+	// for non-negative starts. Word alignment is required for the bank
+	// pattern to be periodic in the element index.
+	aligned := start >= 0 && base%isa.WordBytes == 0 && strideBytes%isa.WordBytes == 0
+	refreshOn := cfg.RefreshEnabled && cfg.RefreshPeriod > 0
+	// Closed form: a conflict-free stride never waits on a busy bank, so
+	// only refresh windows can stall it, and those are computable window by
+	// window instead of element by element. Requires a well-formed refresh
+	// schedule (windows shorter than the period) so the walk's
+	// one-element-per-free-cycle progression holds.
+	if aligned && cfg.UnitStrideConflictFree(strideBytes) &&
+		(!refreshOn || cfg.RefreshLen < cfg.RefreshPeriod) {
+		t.closed++
+		return 0, refreshOnlyStall(cfg, start, n)
+	}
+	if aligned && n <= 1<<30 {
+		key := streamKey{
+			baseW:   int16(modI64(base/isa.WordBytes, int64(cfg.Banks))),
+			strideW: int16(modI64(strideBytes/isa.WordBytes, int64(cfg.Banks))),
+			n:       int32(n),
+		}
+		if refreshOn {
+			key.phase = int32(modI64(start, int64(cfg.RefreshPeriod)))
+		}
+		if p, ok := t.memo[key]; ok {
+			t.hits++
+			return p.bank, p.refresh
+		}
+		t.misses++
+		bank, refresh := t.walk(start, base, strideBytes, n)
+		if len(t.memo) < maxMemoEntries {
+			t.memo[key] = stallParts{bank, refresh}
+		}
+		return bank, refresh
+	}
+	// Unaligned accesses fall outside the periodic-pattern argument
+	// (integer division by the word size no longer distributes over the
+	// element index); answer them with the plain walk.
+	return t.walk(start, base, strideBytes, n)
+}
+
+func (t *StallTable) walk(start, base, strideBytes int64, n int) (bankStall, refreshStall int64) {
+	clear(t.scratch)
+	return streamWalk(t.cfg, t.scratch, start, base, strideBytes, n)
+}
+
+// refreshOnlyStall is the closed form for streams that never wait on a
+// busy bank: accesses proceed one per cycle except that an access landing
+// inside a refresh window waits out its remainder. It walks refresh
+// windows (O(n/RefreshPeriod)) rather than elements.
+func refreshOnlyStall(cfg Config, start int64, n int) int64 {
+	if !cfg.RefreshEnabled || cfg.RefreshPeriod <= 0 {
+		return 0
+	}
+	period, length := int64(cfg.RefreshPeriod), int64(cfg.RefreshLen)
+	t := start
+	remaining := int64(n)
+	var stall int64
+	for remaining > 0 {
+		off := modI64(t, period)
+		if off < length {
+			// One access waits out the window's remainder...
+			stall += length - off
+			t += length - off
+			off = length
+		}
+		// ...then accesses stream one per cycle until the next window.
+		free := period - off
+		if free >= remaining {
+			break
+		}
+		remaining -= free
+		t += free
+	}
+	return stall
+}
+
+// modI64 is the non-negative remainder of v modulo m (m > 0).
+func modI64(v, m int64) int64 {
+	r := v % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

@@ -1,0 +1,115 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStallTableMatchesNaive is the differential gate of the memoized fast
+// path: on a sweep of strides, phases, bases and lengths — including
+// unaligned and negative ones — StallTable must answer bit-identically to
+// the naive element walk, both on a cold table and on the memoized second
+// query.
+func TestStallTableMatchesNaive(t *testing.T) {
+	configs := []Config{
+		DefaultConfig(),
+		{Banks: 32, BankCycle: 8, RefreshPeriod: 400, RefreshLen: 8, RefreshEnabled: false},
+		{Banks: 16, BankCycle: 4, RefreshPeriod: 100, RefreshLen: 3, RefreshEnabled: true},
+		{Banks: 8, BankCycle: 11, RefreshPeriod: 37, RefreshLen: 5, RefreshEnabled: true},
+		{Banks: 32, BankCycle: 8, RefreshPeriod: 8, RefreshLen: 8, RefreshEnabled: true}, // degenerate: refresh fills the period
+	}
+	strides := []int64{0, 8, -8, 16, 64, 96, 256, 264, 2048, 4, 12, -20, 1}
+	starts := []int64{0, 1, 7, 8, 399, 400, 401, 1234567, -5, -400}
+	bases := []int64{0, 8, 64, 120, 2048, 4, 9, -16}
+	lengths := []int{0, 1, 2, 31, 32, 64, 127, 128}
+
+	for ci, cfg := range configs {
+		naive := NewBankModel(cfg)
+		fast := NewStallTable(cfg)
+		for _, stride := range strides {
+			for _, start := range starts {
+				for _, base := range bases {
+					for _, n := range lengths {
+						wb, wr := naive.StreamStallParts(start, base, stride, n)
+						for pass := 0; pass < 2; pass++ { // cold then memoized
+							gb, gr := fast.StreamStallParts(start, base, stride, n)
+							if gb != wb || gr != wr {
+								t.Fatalf("cfg %d stride=%d start=%d base=%d n=%d pass=%d: fast=(%d,%d) naive=(%d,%d)",
+									ci, stride, start, base, n, pass, gb, gr, wb, wr)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStallTableRandomized fuzzes the differential property with random
+// parameters, biased toward word-aligned streams (the memoized classes).
+func TestStallTableRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultConfig()
+	naive := NewBankModel(cfg)
+	fast := NewStallTable(cfg)
+	for i := 0; i < 5000; i++ {
+		start := rng.Int63n(10_000) - 500
+		base := rng.Int63n(1 << 20)
+		stride := rng.Int63n(64) - 16
+		if i%4 != 0 { // mostly aligned
+			base &^= 7
+			stride *= 8
+		}
+		n := rng.Intn(130)
+		if i%2 == 1 {
+			// Draw from a small key space so memoized classes repeat.
+			start = int64(rng.Intn(3))
+			base = int64(rng.Intn(3) * 8)
+			stride = int64((rng.Intn(3) + 1) * 64) // bank-conflicting strides
+			n = 96 + rng.Intn(2)
+		}
+		wb, wr := naive.StreamStallParts(start, base, stride, n)
+		gb, gr := fast.StreamStallParts(start, base, stride, n)
+		if gb != wb || gr != wr {
+			t.Fatalf("start=%d base=%d stride=%d n=%d: fast=(%d,%d) naive=(%d,%d)",
+				start, base, stride, n, gb, gr, wb, wr)
+		}
+	}
+	hits, misses, closed := fast.Stats()
+	if hits == 0 || misses == 0 || closed == 0 {
+		t.Fatalf("sweep did not exercise all paths: hits=%d misses=%d closed=%d", hits, misses, closed)
+	}
+}
+
+// TestStreamSharedWalkEquivalence pins the dedup of Stream onto the same
+// core walk: a mutating Stream over fresh state equals StreamStall of the
+// same parameters.
+func TestStreamSharedWalkEquivalence(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, stride := range []int64{8, 16, 256, 0, 24} {
+		for _, start := range []int64{0, 5, 397} {
+			fresh := NewBankModel(cfg)
+			got := fresh.Stream(start, 64, stride, 128)
+			want := NewBankModel(cfg).StreamStall(start, 64, stride, 128)
+			if got != want {
+				t.Fatalf("stride=%d start=%d: Stream=%d StreamStall=%d", stride, start, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkStreamStallNaive(b *testing.B) {
+	b.ReportAllocs()
+	m := NewBankModel(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		m.StreamStallParts(int64(i%400), 1024, 256, 128)
+	}
+}
+
+func BenchmarkStreamStallMemoized(b *testing.B) {
+	b.ReportAllocs()
+	t := NewStallTable(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		t.StreamStallParts(int64(i%400), 1024, 256, 128)
+	}
+}

@@ -1,0 +1,85 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		var seen [n]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if c := seen[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachLowestIndexError: with several failing indices, the reported
+// error must be the lowest-index one regardless of worker count, so a
+// parallel sweep fails the same way a sequential one would.
+func TestForEachLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var calls atomic.Int32
+		err := ForEach(workers, 50, func(i int) error {
+			calls.Add(1)
+			if i == 7 || i == 31 || i == 49 {
+				return errors.New("boom at " + string(rune('0'+i/10)) + string(rune('0'+i%10)))
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if want := "boom at 07"; err.Error() != want {
+			t.Fatalf("workers=%d: err = %q, want %q", workers, err.Error(), want)
+		}
+		if workers == 1 && calls.Load() != 8 {
+			// Sequential mode stops at the first failure.
+			t.Fatalf("sequential mode ran %d calls, want 8", calls.Load())
+		}
+	}
+}
+
+// TestForEachConcurrent exercises the claim/record paths under -race.
+func TestForEachConcurrent(t *testing.T) {
+	var sum atomic.Int64
+	const n = 1000
+	if err := ForEach(8, n, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n * (n - 1) / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}

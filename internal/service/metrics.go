@@ -103,6 +103,15 @@ type Snapshot struct {
 	// StallCycles aggregates simulated cycle attribution by cause (issue
 	// cycles under "issue") over every fresh pipeline run.
 	StallCycles map[string]int64 `json:"stall_cycles"`
+	// SimPool reports the analyzer's simulator pool: CPUs created versus
+	// runs served by a recycled one.
+	SimPool SimPoolStats `json:"sim_pool"`
+}
+
+// SimPoolStats is the simulator-pool section of /metrics.
+type SimPoolStats struct {
+	Created  int64 `json:"created"`
+	Recycled int64 `json:"recycled"`
 }
 
 // snapshotEndpoints renders the per-endpoint section.

@@ -105,6 +105,10 @@ type Service struct {
 	cache   *Cache
 	metrics *Metrics
 	log     *slog.Logger
+	// analyzer recycles simulator state (memory image, vector registers,
+	// memoized stream-stall tables) across cache-miss analyses instead of
+	// allocating a fresh multi-megabyte CPU per request.
+	analyzer *macs.Analyzer
 
 	mu      sync.Mutex
 	flights map[Key]*flight
@@ -128,6 +132,7 @@ func New(cfg Config) *Service {
 		cache:      NewCache(cfg.CacheSize),
 		metrics:    NewMetrics(),
 		log:        cfg.Logger,
+		analyzer:   macs.NewAnalyzer(cfg.VM),
 		flights:    make(map[Key]*flight),
 		attrTotals: make(map[string]int64),
 	}
@@ -173,12 +178,18 @@ func (s *Service) Metrics() Snapshot {
 		DedupShared:   s.dedupShared.Load(),
 		PipelineRuns:  s.pipelineRuns.Load(),
 		StallCycles:   s.stallCycles(),
+		SimPool:       s.simPool(),
 	}
 }
 
 // PipelineRuns reports how many times the underlying pipeline actually
 // executed — the dedup and cache tests assert on it.
 func (s *Service) PipelineRuns() int64 { return s.pipelineRuns.Load() }
+
+func (s *Service) simPool() SimPoolStats {
+	created, recycled := s.analyzer.PoolStats()
+	return SimPoolStats{Created: created, Recycled: recycled}
+}
 
 // do is the heart of the service: cache lookup, singleflight attach or
 // lead, pool submission with backpressure, and context-bounded waiting.
@@ -384,7 +395,7 @@ func (s *Service) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeRespo
 		return AnalyzeResponse{}, err
 	}
 	v, cached, err := s.do(ctx, key, func() (any, error) {
-		res, err := macs.AnalyzeSource(req.Source, req.Iterations, req.Prime.primeFunc())
+		res, err := s.analyzer.AnalyzeSource(req.Source, req.Iterations, req.Prime.primeFunc())
 		if err != nil {
 			return nil, err
 		}

@@ -54,6 +54,12 @@ type Config struct {
 	// MaxCycles and MaxInstrs abort runaway programs.
 	MaxCycles int64
 	MaxInstrs int64
+	// NaiveMemPath disables the memoized stream-stall table and answers
+	// every vector memory stream with the naive per-element bank walk. The
+	// two paths are bit-equivalent (the fast-path differential tests gate
+	// on it); this flag exists to keep the reference implementation alive
+	// and selectable.
+	NaiveMemPath bool
 	// Trace records per-vector-instruction timing events (Figure 2).
 	Trace bool
 	// TraceRing, when > 0 and Trace is off, records the most recent

@@ -59,6 +59,16 @@ type CPU struct {
 	halted     bool
 	finished   bool
 
+	// stallTab memoizes vector-stream stall queries across streams and —
+	// because Reset keeps it — across pooled runs. Nil when the config
+	// models neither bank conflicts nor refresh, or when NaiveMemPath
+	// keeps the reference walk in charge.
+	stallTab *mem.StallTable
+	// vscratch is the vector ALU staging buffer (results are computed here
+	// before being copied to the destination register, so aliased operands
+	// read consistent values without a per-instruction allocation).
+	vscratch []float64
+
 	stats Stats
 	trace []TraceEvent
 	ring  *traceRing
@@ -81,12 +91,65 @@ func New(cfg Config) *CPU {
 	for i := range c.v {
 		c.v[i] = make([]float64, cfg.VLMax)
 	}
+	c.vscratch = make([]float64, cfg.VLMax)
 	c.bankCfg = mem.DefaultConfig()
 	c.bankCfg.RefreshEnabled = cfg.RefreshStalls
+	if (cfg.BankConflicts || cfg.RefreshStalls) && !cfg.NaiveMemPath {
+		c.stallTab = mem.NewStallTable(c.bankCfg)
+	}
 	if !cfg.Trace && cfg.TraceRing > 0 {
 		c.ring = newTraceRing(cfg.TraceRing)
 	}
 	return c
+}
+
+// Reset returns the CPU to its freshly-created state without reallocating
+// its memory image, vector registers or chime builder, so a pooled
+// simulator can run back-to-back programs with per-run cost proportional
+// to what the previous run touched. The memoized stream-stall table
+// survives the reset — its answers depend only on the configuration, and
+// keeping it warm is much of the point of pooling. Any shared bank model
+// is detached; re-attach with SetSharedBank if the next run co-simulates.
+func (c *CPU) Reset() {
+	c.mem.Reset()
+	c.prog = nil
+	c.a = [isa.NumARegs]int64{}
+	c.s = [isa.NumSRegs]uint64{}
+	for i := range c.v {
+		clear(c.v[i])
+	}
+	c.vl = c.cfg.VLMax
+	c.vs = isa.WordBytes
+	c.tf = false
+	c.pc = 0
+
+	c.clock = 0
+	c.pipeFree = [4]int64{}
+	c.pipeUsed = [4]bool{}
+	c.vw = [isa.NumVRegs]vwriter{}
+	c.sReady = [isa.NumSRegs]int64{}
+	c.vectorPortFree = 0
+	c.scalarPortFree = 0
+	c.builder.Reset()
+	c.chimeID = 0
+	c.chimeStart = 0
+	c.chimeMemStall = 0
+	c.chimeVL = 0
+	c.lastChimeStart = 0
+	c.prevGate = 0
+	c.maxEvent = 0
+
+	c.sharedBank = nil
+	c.halted = false
+	c.finished = false
+	c.stats = Stats{}
+	// Returned trace slices must survive the next run: drop, don't truncate.
+	c.trace = nil
+	if c.ring != nil {
+		c.ring.reset()
+	}
+	c.laneTime = [NumLanes]int64{}
+	c.prevGateSplit = false
 }
 
 // Memory returns the CPU's functional memory (for priming inputs and

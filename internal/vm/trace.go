@@ -20,6 +20,15 @@ func newTraceRing(capacity int) *traceRing {
 	return &traceRing{buf: make([]TraceEvent, 0, capacity)}
 }
 
+// reset empties the ring for reuse (events() copies out, so the buffer
+// itself is never aliased by returned slices).
+func (r *traceRing) reset() {
+	r.buf = r.buf[:0]
+	r.pos = 0
+	r.full = false
+	r.dropped = 0
+}
+
 func (r *traceRing) push(e TraceEvent) {
 	if cap(r.buf) == 0 {
 		r.dropped++

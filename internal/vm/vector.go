@@ -3,7 +3,6 @@ package vm
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"macs/internal/isa"
 	"macs/internal/mem"
@@ -186,7 +185,14 @@ func (c *CPU) execVector(in isa.Instr) error {
 	}
 
 	// Attribute the pipe's pre-stream wait, then its streaming interval.
-	sort.Slice(waits, func(i, j int) bool { return waits[i].t < waits[j].t })
+	// Stable insertion sort: waits holds at most six checkpoints, and the
+	// sort.Slice closure forced the buffer to escape — a heap allocation
+	// per vector instruction. Same comparison, same tie order.
+	for i := 1; i < len(waits); i++ {
+		for j := i; j > 0 && waits[j].t < waits[j-1].t; j-- {
+			waits[j], waits[j-1] = waits[j-1], waits[j]
+		}
+	}
 	for _, w := range waits {
 		wt := w.t
 		if wt > s {
@@ -269,8 +275,10 @@ func (m memStall) total() int64 { return m.bank + m.refresh + m.contention }
 // from bank conflicts, refresh, and multi-process contention, decomposed
 // by cause. In cluster mode the stream runs against the banks shared with
 // the other CPUs (mutating their state) and the whole shared-bank wait is
-// booked as bank conflict; standalone it probes a private model that
-// separates bank-busy from refresh waits.
+// booked as bank conflict; standalone it probes zero-state bank timing —
+// through the memoized stall table on the fast path, or a fresh naive
+// bank walk when Config.NaiveMemPath keeps the reference implementation
+// in charge (the two are bit-equivalent).
 func (c *CPU) memStreamStall(start, base int64, vl int) memStall {
 	var st memStall
 	stride := c.vs
@@ -280,6 +288,8 @@ func (c *CPU) memStreamStall(start, base int64, vl int) memStall {
 	switch {
 	case c.sharedBank != nil:
 		st.bank = c.sharedBank.Stream(start, base, stride, vl)
+	case c.stallTab != nil:
+		st.bank, st.refresh = c.stallTab.StreamStallParts(start, base, stride, vl)
 	case c.cfg.BankConflicts || c.cfg.RefreshStalls:
 		cfg := c.bankCfg
 		cfg.RefreshEnabled = c.cfg.RefreshStalls
@@ -393,7 +403,7 @@ func (c *CPU) execVectorFunc(in isa.Instr, vl int, ea int64) error {
 		if dst.Class != isa.ClassV {
 			return fmt.Errorf("vector %s into %s", in.Op, dst)
 		}
-		out := make([]float64, vl)
+		out := c.vscratch[:vl]
 		for k := 0; k < vl; k++ {
 			a, b := x(k), y(k)
 			switch in.Op {

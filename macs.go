@@ -219,8 +219,17 @@ func AnalyzeSource(src string, iterations int64, prime func(*CPU) error) (Result
 // AnalyzeSourceVM is AnalyzeSource with an explicit simulator
 // configuration: use it to enable tracing (Trace/TraceRing), model memory
 // contention (MemSlowdown) or change the machine. The bounds are computed
-// with the configuration's chime rules and vector length.
+// with the configuration's chime rules and vector length. Every call
+// builds a fresh simulator; callers on a hot path should hold an Analyzer
+// instead, which recycles simulator state through a pool.
 func AnalyzeSourceVM(src string, iterations int64, cfg VMConfig, prime func(*CPU) error) (Result, error) {
+	return analyzeOn(vm.New(cfg), src, iterations, cfg, prime)
+}
+
+// analyzeOn runs the full pipeline on a ready (fresh or pooled-and-reset)
+// simulator: the shared back half of AnalyzeSourceVM and
+// Analyzer.AnalyzeSource.
+func analyzeOn(cpu *vm.CPU, src string, iterations int64, cfg VMConfig, prime func(*CPU) error) (Result, error) {
 	var res Result
 	prog, a, err := boundSource(src, compiler.DefaultOptions(), cfg.VLMax, cfg.Rules)
 	res.Program = prog
@@ -228,7 +237,6 @@ func AnalyzeSourceVM(src string, iterations int64, cfg VMConfig, prime func(*CPU
 		return res, err
 	}
 	res.Analysis = a
-	cpu := vm.New(cfg)
 	if err := cpu.Load(prog); err != nil {
 		return res, err
 	}
@@ -248,6 +256,37 @@ func AnalyzeSourceVM(src string, iterations int64, cfg VMConfig, prime func(*CPU
 	}
 	return res, nil
 }
+
+// Analyzer is the pooled front door to the full pipeline: it behaves
+// exactly like AnalyzeSourceVM with a fixed configuration, but recycles
+// simulator state (memory image, vector registers, memoized stream-stall
+// tables) across calls instead of allocating megabytes per analysis. It
+// is safe for concurrent use — the analysis service holds one per
+// configuration and shares it across its worker pool.
+type Analyzer struct {
+	cfg  VMConfig
+	pool *vm.Pool
+}
+
+// NewAnalyzer creates an Analyzer for one simulator configuration.
+func NewAnalyzer(cfg VMConfig) *Analyzer {
+	return &Analyzer{cfg: cfg, pool: vm.NewPool(cfg)}
+}
+
+// Config returns the analyzer's simulator configuration.
+func (a *Analyzer) Config() VMConfig { return a.cfg }
+
+// AnalyzeSource runs the full pipeline — compile, bound, simulate — on a
+// pooled simulator. Results are identical to AnalyzeSourceVM with the
+// analyzer's configuration (the fast-path differential tests gate on it).
+func (a *Analyzer) AnalyzeSource(src string, iterations int64, prime func(*CPU) error) (Result, error) {
+	cpu := a.pool.Get()
+	defer a.pool.Put(cpu)
+	return analyzeOn(cpu, src, iterations, a.cfg, prime)
+}
+
+// PoolStats reports the analyzer pool's created and recycled CPU counts.
+func (a *Analyzer) PoolStats() (created, returned int64) { return a.pool.Stats() }
 
 // ChromeTrace renders vector timing events (Result.Trace) as a Chrome
 // trace_event JSON document for chrome://tracing or Perfetto.
