@@ -13,6 +13,7 @@
 //	BenchmarkFigure3Contention   multi-process slowdown
 //	BenchmarkAblation*           measured average CPL under each ablation
 //	BenchmarkLFK*                per-kernel simulation rate
+//	BenchmarkFastTier            per-kernel analytical-tier prediction time
 package macs_test
 
 import (
@@ -25,6 +26,7 @@ import (
 	"macs/internal/compiler"
 	"macs/internal/core"
 	"macs/internal/experiments"
+	"macs/internal/fasttier"
 	"macs/internal/isa"
 	"macs/internal/lfk"
 	"macs/internal/mem"
@@ -307,6 +309,67 @@ func BenchmarkLFKNaive(b *testing.B) {
 			b.StopTimer()
 			if secs := b.Elapsed().Seconds(); secs > 0 {
 				b.ReportMetric(float64(total)/secs, "cycles/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkFastTier measures the analytical serving tier per kernel in
+// its steady state: repeated identical requests over one predictor, the
+// pattern the service actually sees (first sight replays the schedule,
+// every later request answers from the prediction memo). Compile is
+// outside the timer like BenchmarkLFK. The per-kernel ratio of
+// BenchmarkLFK ns/op to BenchmarkFastTier ns/op is the fast tier's
+// serving speedup over pooled simulation; benchgate gates its floor.
+// BenchmarkFastTierCold is the first-sight cost.
+func BenchmarkFastTier(b *testing.B) {
+	pred := fasttier.NewPredictor(calib.FastTierConfig(vm.DefaultConfig()))
+	for _, k := range lfk.All() {
+		k := k
+		b.Run(fmt.Sprintf("lfk%d", k.ID), func(b *testing.B) {
+			b.ReportAllocs()
+			c, err := lfk.Compile(k, compiler.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ints := k.DataInts()
+			var p fasttier.Prediction
+			if _, err := pred.Predict(c.Program, int64(k.Elements), ints); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err = pred.Predict(c.Program, int64(k.Elements), ints)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(p.CPL, "predicted-CPL")
+		})
+	}
+}
+
+// BenchmarkFastTierCold measures the fast tier's first-sight cost: a
+// fresh predictor — empty memo, cold stream-stall table — replays the
+// schedule from scratch every iteration.
+func BenchmarkFastTierCold(b *testing.B) {
+	cfg := calib.FastTierConfig(vm.DefaultConfig())
+	for _, k := range lfk.All() {
+		k := k
+		b.Run(fmt.Sprintf("lfk%d", k.ID), func(b *testing.B) {
+			b.ReportAllocs()
+			c, err := lfk.Compile(k, compiler.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ints := k.DataInts()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pred := fasttier.NewPredictor(cfg)
+				if _, err := pred.Predict(c.Program, int64(k.Elements), ints); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

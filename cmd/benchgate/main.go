@@ -1,17 +1,20 @@
-// Command benchgate guards the simulation engine's fast path against
-// performance regressions. It runs the per-kernel LFK benchmarks
-// (BenchmarkLFK, the pooled/memoized fast path, and BenchmarkLFKNaive,
-// the fresh-simulator reference), writes a machine-readable report, and
-// compares against a committed baseline.
+// Command benchgate guards the simulation engine's fast path and the
+// analytical fast tier against performance regressions. It runs the
+// per-kernel benchmarks (BenchmarkLFK, the pooled/memoized simulation
+// path; BenchmarkLFKNaive, the fresh-simulator reference; and
+// BenchmarkFastTier, the schedule-replay prediction), writes a
+// machine-readable report, and compares against a committed baseline.
 //
-// Absolute simulation rates vary with hardware, so the gate is on
-// machine-neutral quantities measured in the same process: the fast/naive
-// speedup ratio and the fast path's allocations per run. A >10% drop in
-// speedup, or allocation growth beyond tolerance, fails the gate.
+// Absolute rates vary with hardware, so the gate is on machine-neutral
+// quantities measured in the same process: the fast/naive simulation
+// speedup ratio, the fast path's allocations per run, and the fast
+// tier's speedup over pooled simulation. A >10% drop in either speedup,
+// allocation growth beyond tolerance, or any kernel predicted less than
+// 100x faster than it simulates, fails the gate.
 //
 // Usage:
 //
-//	benchgate                      # run, compare against BENCH_5.json
+//	benchgate                      # run, compare against BENCH_6.json
 //	benchgate -update              # run and rewrite the baseline
 //	benchgate -count 3             # best-of-3 to damp benchtime=1x noise
 //	benchgate -tolerance 0.10     # allowed relative regression
@@ -46,18 +49,31 @@ type Aggregate struct {
 	Speedup     float64 `json:"speedup"`
 	FastAllocs  float64 `json:"fast_allocs_per_sweep"`
 	NaiveAllocs float64 `json:"naive_allocs_per_sweep"`
+	// FastTierSpeedup is the whole-sweep ratio of pooled-simulation time
+	// to fast-tier prediction time; FastTierMinKernelSpeedup is the worst
+	// per-kernel ratio, gated against the 100x floor.
+	FastTierSpeedup          float64 `json:"fast_tier_speedup"`
+	FastTierMinKernelSpeedup float64 `json:"fast_tier_min_kernel_speedup"`
+	FastTierAllocs           float64 `json:"fast_tier_allocs_per_sweep"`
 }
 
-// Report is the BENCH_5.json document.
+// fastTierFloor is the per-kernel speedup the fast tier must keep over
+// pooled simulation: each LFK must predict at least this many times
+// faster than it simulates.
+const fastTierFloor = 100.0
+
+// Report is the BENCH_6.json document.
 type Report struct {
-	Fast      map[string]KernelBench `json:"fast"`
-	Naive     map[string]KernelBench `json:"naive"`
-	Aggregate Aggregate              `json:"aggregate"`
+	Fast     map[string]KernelBench `json:"fast"`
+	Naive    map[string]KernelBench `json:"naive"`
+	FastTier map[string]KernelBench `json:"fasttier"`
+	// Aggregate holds the machine-neutral gate metrics.
+	Aggregate Aggregate `json:"aggregate"`
 }
 
 func main() {
-	baseline := flag.String("baseline", "BENCH_5.json", "committed baseline to gate against")
-	out := flag.String("out", "BENCH_5.json", "where to write this run's report")
+	baseline := flag.String("baseline", "BENCH_6.json", "committed baseline to gate against")
+	out := flag.String("out", "BENCH_6.json", "where to write this run's report")
 	update := flag.Bool("update", false, "rewrite the baseline instead of gating")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed relative regression")
 	count := flag.Int("count", 1, "benchmark repetitions; the best run per kernel is kept")
@@ -95,22 +111,42 @@ func run(baseline, out string, update bool, tolerance float64, count int, dir st
 }
 
 // measure runs the LFK benchmarks and folds the output into a Report,
-// keeping the best (highest-rate) run per kernel.
+// keeping the best (highest-rate) run per kernel. The simulation
+// benchmarks run at -benchtime 1x (a single full kernel execution);
+// the fast-tier family runs in a second invocation at 1000x so each
+// op is a steady-state memo hit rather than a single timer read — at
+// b.N=1 the ~600ns monotonic-clock overhead would triple the ~300ns
+// serving cost.
 func measure(count int, dir string) (Report, error) {
-	args := []string{
+	simArgs := []string{
 		"test", "-run", "^$",
 		"-bench", "^(BenchmarkLFK|BenchmarkLFKNaive)$",
 		"-benchtime", "1x", "-benchmem",
 		"-count", strconv.Itoa(count),
 		".",
 	}
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	outBytes, err := cmd.CombinedOutput()
-	if err != nil {
-		return Report{}, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, outBytes)
+	tierArgs := []string{
+		"test", "-run", "^$",
+		"-bench", "^BenchmarkFastTier$",
+		"-benchtime", "1000x", "-benchmem",
+		"-count", strconv.Itoa(count),
+		".",
 	}
-	rep := Report{Fast: map[string]KernelBench{}, Naive: map[string]KernelBench{}}
+	var outBytes []byte
+	for _, args := range [][]string{simArgs, tierArgs} {
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return Report{}, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, out)
+		}
+		outBytes = append(outBytes, out...)
+	}
+	rep := Report{
+		Fast:     map[string]KernelBench{},
+		Naive:    map[string]KernelBench{},
+		FastTier: map[string]KernelBench{},
+	}
 	for _, line := range strings.Split(string(outBytes), "\n") {
 		name, kb, ok := parseBenchLine(line)
 		if !ok {
@@ -121,16 +157,25 @@ func measure(count int, dir string) (Report, error) {
 		switch {
 		case strings.HasPrefix(name, "BenchmarkLFKNaive/"):
 			into = rep.Naive
+		case strings.HasPrefix(name, "BenchmarkFastTier/"):
+			into = rep.FastTier
 		case strings.HasPrefix(name, "BenchmarkLFK/"):
 			into = rep.Fast
 		default:
 			continue
 		}
-		if prev, seen := into[kernel]; !seen || kb.CyclesPerSec > prev.CyclesPerSec {
+		// Best run per kernel: highest simulation rate, or — for the fast
+		// tier, which has no cycle rate — lowest wall time.
+		prev, seen := into[kernel]
+		better := kb.CyclesPerSec > prev.CyclesPerSec
+		if kb.CyclesPerSec == 0 && prev.CyclesPerSec == 0 {
+			better = kb.NsPerOp < prev.NsPerOp
+		}
+		if !seen || better {
 			into[kernel] = kb
 		}
 	}
-	if len(rep.Fast) == 0 || len(rep.Naive) == 0 {
+	if len(rep.Fast) == 0 || len(rep.Naive) == 0 || len(rep.FastTier) == 0 {
 		return rep, fmt.Errorf("no benchmark lines parsed from go test output:\n%s", outBytes)
 	}
 	rep.Aggregate = aggregate(rep)
@@ -191,6 +236,23 @@ func aggregate(rep Report) Aggregate {
 	if a.NaiveCyclesPerSec > 0 {
 		a.Speedup = a.FastCyclesPerSec / a.NaiveCyclesPerSec
 	}
+	var simNs, tierNs float64
+	for kernel, sim := range rep.Fast {
+		tier, ok := rep.FastTier[kernel]
+		if !ok || tier.NsPerOp <= 0 {
+			continue
+		}
+		simNs += sim.NsPerOp
+		tierNs += tier.NsPerOp
+		a.FastTierAllocs += tier.AllocsPerOp
+		sp := sim.NsPerOp / tier.NsPerOp
+		if a.FastTierMinKernelSpeedup == 0 || sp < a.FastTierMinKernelSpeedup {
+			a.FastTierMinKernelSpeedup = sp
+		}
+	}
+	if tierNs > 0 {
+		a.FastTierSpeedup = simNs / tierNs
+	}
 	return a
 }
 
@@ -217,8 +279,20 @@ func gate(rep Report, baseline string, tolerance float64) error {
 		return fmt.Errorf("allocation regression: fast sweep allocates %.0f objects, baseline %.0f (+%.0f%% allowed)",
 			rep.Aggregate.FastAllocs, base.Aggregate.FastAllocs, tolerance*100)
 	}
-	fmt.Printf("gate ok: speedup %.2fx (baseline %.2fx, floor %.2fx), sweep allocs %.0f (ceiling %.0f)\n",
-		rep.Aggregate.Speedup, base.Aggregate.Speedup, floor, rep.Aggregate.FastAllocs, ceil)
+	if rep.Aggregate.FastTierMinKernelSpeedup < fastTierFloor {
+		return fmt.Errorf("fast-tier floor broken: worst kernel predicts only %.0fx faster than pooled simulation (floor %.0fx)",
+			rep.Aggregate.FastTierMinKernelSpeedup, fastTierFloor)
+	}
+	if base.Aggregate.FastTierSpeedup > 0 {
+		tierFloor := base.Aggregate.FastTierSpeedup * (1 - tolerance)
+		if rep.Aggregate.FastTierSpeedup < tierFloor {
+			return fmt.Errorf("fast-tier regression: prediction speedup %.0fx is below %.0fx (baseline %.0fx - %.0f%%)",
+				rep.Aggregate.FastTierSpeedup, tierFloor, base.Aggregate.FastTierSpeedup, tolerance*100)
+		}
+	}
+	fmt.Printf("gate ok: sim speedup %.2fx (baseline %.2fx, floor %.2fx), sweep allocs %.0f (ceiling %.0f), fast-tier speedup %.0fx (min kernel %.0fx, floor %.0fx)\n",
+		rep.Aggregate.Speedup, base.Aggregate.Speedup, floor, rep.Aggregate.FastAllocs, ceil,
+		rep.Aggregate.FastTierSpeedup, rep.Aggregate.FastTierMinKernelSpeedup, fastTierFloor)
 	return nil
 }
 
@@ -238,17 +312,24 @@ func printReport(rep Report) {
 	sort.Slice(kernels, func(i, j int) bool {
 		return kernelOrd(kernels[i]) < kernelOrd(kernels[j])
 	})
-	fmt.Printf("%-8s %15s %15s %10s %12s\n", "kernel", "fast cyc/s", "naive cyc/s", "speedup", "allocs/op")
+	fmt.Printf("%-8s %15s %15s %10s %12s %12s %10s\n",
+		"kernel", "fast cyc/s", "naive cyc/s", "speedup", "allocs/op", "tier ns/op", "tier-x")
 	for _, k := range kernels {
-		f, n := rep.Fast[k], rep.Naive[k]
+		f, n, t := rep.Fast[k], rep.Naive[k], rep.FastTier[k]
 		sp := 0.0
 		if n.CyclesPerSec > 0 {
 			sp = f.CyclesPerSec / n.CyclesPerSec
 		}
-		fmt.Printf("%-8s %15.0f %15.0f %9.1fx %12.0f\n", k, f.CyclesPerSec, n.CyclesPerSec, sp, f.AllocsPerOp)
+		tsp := 0.0
+		if t.NsPerOp > 0 {
+			tsp = f.NsPerOp / t.NsPerOp
+		}
+		fmt.Printf("%-8s %15.0f %15.0f %9.1fx %12.0f %12.0f %9.0fx\n",
+			k, f.CyclesPerSec, n.CyclesPerSec, sp, f.AllocsPerOp, t.NsPerOp, tsp)
 	}
 	a := rep.Aggregate
-	fmt.Printf("%-8s %15.0f %15.0f %9.1fx %12.0f\n", "all", a.FastCyclesPerSec, a.NaiveCyclesPerSec, a.Speedup, a.FastAllocs)
+	fmt.Printf("%-8s %15.0f %15.0f %9.1fx %12.0f %12s %9.0fx\n",
+		"all", a.FastCyclesPerSec, a.NaiveCyclesPerSec, a.Speedup, a.FastAllocs, "", a.FastTierSpeedup)
 }
 
 // kernelOrd sorts lfk2 before lfk10.

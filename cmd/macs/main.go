@@ -12,6 +12,11 @@
 //	macs bound   <kernel.f>        print the bounds hierarchy
 //	macs sim     <kernel.f> [-n N] compile and simulate (N inner iterations
 //	                               for the CPL conversion)
+//	macs analyze <kernel.f> [-tier exact|fast|auto] [-n N] [-ints N=1001]
+//	                               serve through a selectable tier: exact
+//	                               simulates, fast predicts analytically in
+//	                               microseconds, auto does both and reports
+//	                               the divergence
 //	macs attr    <kernel.f> [-n N] [-trace out.json] [-ring N]
 //	                               simulate and print the per-lane stall
 //	                               attribution table; -trace writes the
@@ -24,10 +29,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"macs"
 	"macs/internal/ax"
@@ -51,12 +59,14 @@ func main() {
 		err = cmdBound(os.Stdout, args)
 	case "sim":
 		err = cmdSim(os.Stdout, args)
+	case "analyze":
+		err = cmdAnalyze(os.Stdout, args)
 	case "attr":
 		err = cmdAttr(os.Stdout, args)
 	case "ax":
 		err = cmdAX(os.Stdout, args)
 	case "calib":
-		err = cmdCalib(os.Stdout)
+		err = cmdCalib(os.Stdout, args)
 	case "sweep":
 		err = cmdSweep(os.Stdout)
 	case "lfk":
@@ -71,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: macs {compile|check|bound|sim|attr|ax} <kernel.f> | macs calib | macs sweep | macs lfk <id>")
+	fmt.Fprintln(os.Stderr, "usage: macs {compile|check|bound|sim|analyze|attr|ax} <kernel.f> | macs calib | macs sweep | macs lfk <id>")
 	os.Exit(2)
 }
 
@@ -164,6 +174,135 @@ func cmdSim(w io.Writer, args []string) error {
 	return nil
 }
 
+// cmdAnalyze serves a kernel through a selectable tier: "exact" simulates
+// (like sim), "fast" predicts analytically in microseconds, "auto" serves
+// the fast prediction and then verifies it against the simulator,
+// reporting the divergence.
+func cmdAnalyze(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	tierName := fs.String("tier", "exact", "serving tier: exact, fast or auto")
+	n := fs.Int64("n", 0, "inner-loop iterations for CPL conversion")
+	ints := fs.String("ints", "", "integer inputs to prime, e.g. N=1001,LOOP=20")
+	var file string
+	if len(args) > 0 && args[0][0] != '-' {
+		file, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tier, err := macs.ParseTier(*tierName)
+	if err != nil {
+		return err
+	}
+	src, err := readSource([]string{file})
+	if err != nil {
+		return err
+	}
+	primeInts, err := parseInts(*ints)
+	if err != nil {
+		return err
+	}
+
+	runFast := func() (macs.FastResult, error) {
+		start := time.Now()
+		fr, err := macs.PredictSource(src, *n, macs.DefaultVMConfig(), primeInts)
+		if err != nil {
+			return fr, err
+		}
+		fmt.Fprintf(w, "tier: fast (%s)\n", time.Since(start).Round(time.Microsecond))
+		fmt.Fprint(w, fr.Report())
+		fmt.Fprintln(w)
+		fmt.Fprint(w, report.PredictionTable(fr.Prediction))
+		return fr, nil
+	}
+	runExact := func() (macs.Result, error) {
+		start := time.Now()
+		res, err := macs.AnalyzeSource(src, *n, primeFunc(primeInts))
+		if err != nil {
+			return res, err
+		}
+		fmt.Fprintf(w, "tier: exact (%s)\n", time.Since(start).Round(time.Microsecond))
+		fmt.Fprint(w, res.Report())
+		return res, nil
+	}
+
+	switch tier {
+	case macs.TierFast:
+		_, err := runFast()
+		return err
+	case macs.TierExact:
+		_, err := runExact()
+		return err
+	case macs.TierAuto:
+		fr, err := runFast()
+		if err != nil {
+			if errors.Is(err, macs.ErrDataDependent) {
+				fmt.Fprintf(w, "fast tier declined (%v); falling back to exact\n\n", err)
+				_, err = runExact()
+				return err
+			}
+			return err
+		}
+		fmt.Fprintln(w)
+		res, err := runExact()
+		if err != nil {
+			return err
+		}
+		if res.MeasuredCPL > 0 && fr.Prediction.CPL > 0 {
+			rel := (fr.Prediction.CPL - res.MeasuredCPL) / res.MeasuredCPL
+			ok := "within"
+			if rel > fr.Prediction.ErrorBand || rel < -fr.Prediction.ErrorBand {
+				ok = "OUTSIDE"
+			}
+			fmt.Fprintf(w, "divergence: predicted %.3f vs measured %.3f CPL (%+.3f%%, %s the ±%.1f%% band)\n",
+				fr.Prediction.CPL, res.MeasuredCPL, 100*rel, ok, 100*fr.Prediction.ErrorBand)
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled tier %v", tier)
+}
+
+// parseInts parses "N=1001,LOOP=20" into a data-symbol priming map.
+func parseInts(s string) (map[string]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int64)
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -ints entry %q (want name=value)", kv)
+		}
+		var v int64
+		if _, err := fmt.Sscanf(val, "%d", &v); err != nil {
+			return nil, fmt.Errorf("bad -ints value %q: %v", kv, err)
+		}
+		out[macs.DataSymbol(name)] = v
+	}
+	return out, nil
+}
+
+// primeFunc turns a data-symbol priming map into the simulator priming
+// hook AnalyzeSource takes, so both tiers see the same inputs.
+func primeFunc(ints map[string]int64) func(*macs.CPU) error {
+	if len(ints) == 0 {
+		return nil
+	}
+	return func(cpu *macs.CPU) error {
+		m := cpu.Memory()
+		for sym, v := range ints {
+			base, ok := m.SymbolAddr(sym)
+			if !ok {
+				return fmt.Errorf("priming unknown symbol %q", sym)
+			}
+			if err := m.WriteI64(base, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
 // cmdAttr simulates a kernel and prints where every cycle of every lane
 // went: the per-lane stall attribution table, plus optionally the vector
 // timing trace as Chrome trace_event JSON.
@@ -228,7 +367,32 @@ func cmdAX(w io.Writer, args []string) error {
 	return nil
 }
 
-func cmdCalib(w io.Writer) error {
+func cmdCalib(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("calib", flag.ExitOnError)
+	residuals := fs.String("residuals", "", `fit fast-tier residuals and write the generated Go table to this file ("-" prints to stdout)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *residuals != "" {
+		fits, err := calib.FitResiduals(vm.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		src := calib.RenderResiduals(fits)
+		for _, f := range fits {
+			fmt.Fprintf(os.Stderr, "%-6s class %-12s sim CPL %8.4f  raw %8.4f  scale %.6f\n",
+				f.Kernel, f.Class, f.SimCPL, f.RawCPL, f.Scale)
+		}
+		if *residuals == "-" {
+			fmt.Fprint(w, src)
+			return nil
+		}
+		if err := os.WriteFile(*residuals, []byte(src), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d signature residuals to %s\n", len(fits), *residuals)
+		return nil
+	}
 	res, err := calib.CalibrateAll(vm.DefaultConfig())
 	if err != nil {
 		return err

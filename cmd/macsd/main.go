@@ -6,16 +6,21 @@
 // Usage:
 //
 //	macsd [-addr :8723] [-workers N] [-queue N] [-cache N]
-//	      [-timeout 30s] [-drain 30s] [-log text|json]
+//	      [-timeout 30s] [-drain 30s] [-log text|json] [-tier exact]
 //
 // Endpoints:
 //
-//	POST /v1/analyze   {"source": "...", "iterations": N, "prime": {...}}
+//	POST /v1/analyze   {"source": "...", "iterations": N, "prime": {...}};
+//	                   ?tier=exact|fast|auto picks the serving tier
+//	                   (fast: analytical prediction in microseconds;
+//	                   auto: fast answer now, exact verification async
+//	                   with divergence tracked on /metrics)
 //	POST /v1/bound     {"source": "..."}
 //	POST /v1/ax        {"source": "...", "prime": {...}}
 //	GET  /v1/lfk/{id}  one case-study kernel (1,2,3,4,6,7,8,9,10,12)
 //	GET  /healthz      liveness
-//	GET  /metrics      counters, cache/queue stats, latency histograms
+//	GET  /metrics      counters, cache/queue stats, latency histograms,
+//	                   fast-tier divergence per kernel class
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight and queued jobs, then exits.
@@ -34,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"macs"
 	"macs/internal/service"
 )
 
@@ -45,7 +51,13 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout, queue wait included")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	logFormat := flag.String("log", "text", "log format: text or json")
+	tier := flag.String("tier", "exact", "default serving tier for requests that name none: exact, fast or auto")
 	flag.Parse()
+
+	if _, err := macs.ParseTier(*tier); err != nil {
+		fmt.Fprintln(os.Stderr, "macsd:", err)
+		os.Exit(2)
+	}
 
 	var handler slog.Handler
 	if *logFormat == "json" {
@@ -60,6 +72,7 @@ func main() {
 		QueueSize:      *queue,
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
+		DefaultTier:    *tier,
 		Logger:         log,
 	})
 	srv := &http.Server{

@@ -1,8 +1,9 @@
 // Command macsvet runs the repo's custom static analyzers (see
 // internal/macsvet): exhaustive switches over marked enums, the
-// opcode/timing-table invariant of internal/isa, no naked panics in
-// packages reachable from service request handling, and Must* panicking
-// helpers confined to test files.
+// opcode/timing-table invariant of internal/isa, the fast-tier/simulator
+// stall-taxonomy bijection (and a named entry for every serving tier),
+// no naked panics in packages reachable from service request handling,
+// and Must* panicking helpers confined to test files.
 //
 // Usage:
 //

@@ -1,0 +1,196 @@
+// Golden and property tests for the analytical fast tier (PR 6).
+//
+//	TestFastTierGoldenLFK          pins predicted CPL + attribution vs sim
+//	TestBoundsMonotonicLFK         t_MA <= t_MAC <= t_MACS <= measured CPL
+//	TestBoundsMonotonicRandom      same hierarchy over random stride/VL kernels
+package macs_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"macs"
+	"macs/internal/compiler"
+	"macs/internal/lfk"
+	"macs/internal/vm"
+)
+
+// fastTierBand is the calibrated error band stated by the residual table
+// (internal/fasttier/residuals_gen.go): fast-tier predicted CPL must land
+// within ±2% of the simulator's measured CPL for every calibration
+// kernel. The golden values below additionally pin both sides exactly —
+// the schedule replay is bit-exact today, so any drift in either the
+// simulator or the replay shows up as a cycle-count diff, not just a
+// band violation.
+const fastTierBand = 0.02
+
+// fastTierGolden pins, per LFK: the simulated (and, with all residual
+// scales at 1.0, predicted) cycle count and the coarse kernel class the
+// residual lookup falls back to when a signature is unknown.
+var fastTierGolden = map[int]struct {
+	Cycles int64
+	Class  string
+}{
+	1:  {4573, "c4-m4-f5"},
+	2:  {1550, "c6-m6-f4"},
+	3:  {2459, "c2-m2-f2"},
+	4:  {2667, "c2-m2-f2"},
+	6:  {16977, "c2-m2-f2"},
+	7:  {11350, "c10-m10-f16"},
+	8:  {6531, "c28-m21-f36"},
+	9:  {1291, "c11-m11-f17"},
+	10: {2210, "c20-m20-f9"},
+	12: {3293, "c3-m3-f1"},
+}
+
+// TestFastTierGoldenLFK is the fast tier's accuracy gate: for all ten
+// LFKs the analytical prediction must match the golden cycle count, land
+// inside the stated error band of a live primed simulation, and
+// reproduce the simulator's stall attribution bucket for bucket.
+func TestFastTierGoldenLFK(t *testing.T) {
+	cfg := vm.DefaultConfig()
+	an := macs.NewAnalyzer(macs.DefaultVMConfig())
+	for _, k := range lfk.All() {
+		want, ok := fastTierGolden[k.ID]
+		if !ok {
+			t.Fatalf("lfk%d: no golden entry", k.ID)
+		}
+		c, err := lfk.Compile(k, compiler.DefaultOptions())
+		if err != nil {
+			t.Fatalf("lfk%d: %v", k.ID, err)
+		}
+		st, _, err := c.Run(cfg)
+		if err != nil {
+			t.Fatalf("lfk%d sim: %v", k.ID, err)
+		}
+		measuredCPL := float64(st.Cycles) / float64(k.Elements)
+		fast, err := an.PredictSource(k.Source, int64(k.Elements), k.DataInts())
+		if err != nil {
+			t.Fatalf("lfk%d predict: %v", k.ID, err)
+		}
+		p := fast.Prediction
+
+		if st.Cycles != want.Cycles {
+			t.Errorf("lfk%d: simulator measured %d cycles, golden %d", k.ID, st.Cycles, want.Cycles)
+		}
+		if p.Cycles != want.Cycles {
+			t.Errorf("lfk%d: fast tier predicted %d cycles, golden %d", k.ID, p.Cycles, want.Cycles)
+		}
+		rel := math.Abs(p.CPL-measuredCPL) / measuredCPL
+		if rel > fastTierBand {
+			t.Errorf("lfk%d: predicted CPL %.4f vs measured %.4f — relative error %.4f exceeds band %.2f",
+				k.ID, p.CPL, measuredCPL, rel, fastTierBand)
+		}
+		if !p.Calibrated {
+			t.Errorf("lfk%d: prediction not calibrated (signature %s unknown?)", k.ID, p.Signature)
+		}
+		if p.ErrorBand != fastTierBand {
+			t.Errorf("lfk%d: ErrorBand = %v, want %v", k.ID, p.ErrorBand, fastTierBand)
+		}
+		if p.Class != want.Class {
+			t.Errorf("lfk%d: class %q, want %q", k.ID, p.Class, want.Class)
+		}
+		if got, wantAttr := p.Attr.Totals(), st.Attr.Totals(); !reflect.DeepEqual(got, wantAttr) {
+			t.Errorf("lfk%d: attribution diverges from simulator:\nfast %v\nsim  %v", k.ID, got, wantAttr)
+		}
+		if err := p.Attr.Conserved(p.Cycles); err != nil {
+			t.Errorf("lfk%d: %v", k.ID, err)
+		}
+	}
+}
+
+// checkHierarchy asserts the MACS hierarchy in CPL terms: looser models
+// can never charge more time than tighter ones, and no model may charge
+// more than the machine measures. (In the paper's MFLOPS terms this is
+// MA >= MAC >= MACS >= measured.) slack absorbs loop wrap-around: the
+// simulator's last iteration can retire up to one chime boundary early
+// relative to the steady-state partition.
+func checkHierarchy(t *testing.T, label string, a macs.Analysis, measuredCPL, slack float64) {
+	t.Helper()
+	if a.TMA > a.TMAC {
+		t.Errorf("%s: t_MA %.4f > t_MAC %.4f", label, a.TMA, a.TMAC)
+	}
+	if a.TMAC > a.MACS.CPL {
+		t.Errorf("%s: t_MAC %.4f > t_MACS %.4f", label, a.TMAC, a.MACS.CPL)
+	}
+	if a.MACS.CPL > measuredCPL+slack {
+		t.Errorf("%s: t_MACS %.4f exceeds measured CPL %.4f (+%.1f slack) — bound not a bound",
+			label, a.MACS.CPL, measuredCPL, slack)
+	}
+}
+
+// TestBoundsMonotonicLFK checks the hierarchy on the ten calibration
+// kernels, where the measured CPL is steady-state and needs no slack.
+func TestBoundsMonotonicLFK(t *testing.T) {
+	cfg := vm.DefaultConfig()
+	for _, k := range lfk.All() {
+		a, err := macs.BoundSource(k.Source)
+		if err != nil {
+			t.Fatalf("lfk%d: %v", k.ID, err)
+		}
+		c, err := lfk.Compile(k, compiler.DefaultOptions())
+		if err != nil {
+			t.Fatalf("lfk%d: %v", k.ID, err)
+		}
+		st, _, err := c.Run(cfg)
+		if err != nil {
+			t.Fatalf("lfk%d sim: %v", k.ID, err)
+		}
+		measuredCPL := float64(st.Cycles) / float64(k.Elements)
+		checkHierarchy(t, fmt.Sprintf("lfk%d", k.ID), a, measuredCPL, 0)
+	}
+}
+
+// randomStrideKernel emits a small vectorizable kernel with a randomized
+// DO stride (memory stride follows it) and a randomized trip count whose
+// residue exercises different final vector lengths. Literal loop bounds
+// keep it self-contained — no priming. Every statement carries a unique
+// literal constant so the compiler cannot common-subexpression away
+// work the source-level MA model charges (CSE would legitimately put
+// t_MAC below t_MA and is not the property under test).
+func randomStrideKernel(r *rand.Rand) (string, int64) {
+	step := 1 + r.Intn(4)          // stride 1..4
+	n := 64 + r.Intn(900)          // trip-count span: varies final strip VL
+	iters := int64((n-1)/step) + 1 // DO K = 1, n, step
+	var b strings.Builder
+	b.WriteString("PROGRAM RANDK\n")
+	b.WriteString("REAL A(4096), B(4096), C(4096), D(4096)\n")
+	b.WriteString("INTEGER K\n")
+	fmt.Fprintf(&b, "DO K = 1, %d, %d\n", n, step)
+	stmts := 1 + r.Intn(3)
+	for s := 0; s < stmts; s++ {
+		dst := []string{"C", "D"}[r.Intn(2)]
+		uniq := s + 3
+		switch r.Intn(3) {
+		case 0:
+			fmt.Fprintf(&b, "  %s(K) = A(K) + B(K) * %d.0\n", dst, uniq)
+		case 1:
+			fmt.Fprintf(&b, "  %s(K) = A(K) * %d.5 + B(K) * %d.25\n", dst, uniq, uniq)
+		default:
+			fmt.Fprintf(&b, "  %s(K) = A(K) * %d.75 + B(K)\n", dst, uniq)
+		}
+	}
+	b.WriteString("ENDDO\nEND\n")
+	return b.String(), iters
+}
+
+// TestBoundsMonotonicRandom fuzzes the hierarchy over random stride/VL
+// configurations (seeded, like internal/vm's property tests). Short
+// strided loops see wrap-around effects, so the measured side gets one
+// CPL of slack — the same allowance internal/vm's bound property uses.
+func TestBoundsMonotonicRandom(t *testing.T) {
+	cfg := macs.DefaultVMConfig()
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		src, iters := randomStrideKernel(r)
+		res, err := macs.AnalyzeSourceVM(src, iters, cfg, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		checkHierarchy(t, fmt.Sprintf("trial %d", trial), res.Analysis, res.MeasuredCPL, 1)
+	}
+}

@@ -1,0 +1,66 @@
+package calib
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"macs/internal/fasttier"
+	"macs/internal/vm"
+)
+
+// TestCommittedResidualsMatchFit refits the fast-tier residuals from live
+// simulator runs and compares them against the committed table: any drift
+// means internal/fasttier/residuals_gen.go is stale for the current
+// timing model. Regenerate with
+//
+//	go run ./cmd/macs calib -residuals internal/fasttier/residuals_gen.go
+func TestCommittedResidualsMatchFit(t *testing.T) {
+	fits, err := FitResiduals(vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 10 {
+		t.Fatalf("fitted %d residuals, want 10 (case-study kernels)", len(fits))
+	}
+	for _, f := range fits {
+		r, ok := fasttier.ResidualFor(f.Signature, f.Class)
+		if !ok {
+			t.Errorf("%s: committed table has no residual for signature %s (class %s)",
+				f.Kernel, f.Signature, f.Class)
+			continue
+		}
+		if r.Kernel != f.Kernel {
+			t.Errorf("%s: signature %s resolves to committed kernel %q", f.Kernel, f.Signature, r.Kernel)
+		}
+		if math.Abs(r.Scale-f.Scale) > 1e-9 {
+			t.Errorf("%s: committed scale %.9f, freshly fitted %.9f — residual table is stale",
+				f.Kernel, r.Scale, f.Scale)
+		}
+	}
+}
+
+// TestResidualClassFallback exercises the class-keyed lookup path: an
+// unknown signature in a calibrated class must fall back to the class
+// entry, and a fully unknown program must get the identity residual with
+// the conservative default band.
+func TestResidualClassFallback(t *testing.T) {
+	fits, err := FitResiduals(vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := fasttier.ResidualFor("0000000000000000", fits[0].Class)
+	if !ok {
+		t.Fatalf("class %s: no fallback residual", fits[0].Class)
+	}
+	if !strings.Contains(r.Kernel, fits[0].Kernel) {
+		t.Errorf("class %s fallback labeled %q, want it to mention %s", fits[0].Class, r.Kernel, fits[0].Kernel)
+	}
+	r, ok = fasttier.ResidualFor("0000000000000000", "no-such-class")
+	if ok {
+		t.Fatalf("unknown program unexpectedly calibrated: %+v", r)
+	}
+	if r.Scale != 1 || r.Band != fasttier.DefaultErrorBand {
+		t.Errorf("identity residual = %+v, want scale 1 band %g", r, fasttier.DefaultErrorBand)
+	}
+}

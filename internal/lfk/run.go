@@ -80,6 +80,17 @@ func (c *Compiled) PrimeData(cpu *vm.CPU) error {
 	return nil
 }
 
+// DataInts returns the kernel's integer inputs keyed by compiled data
+// symbol name ("N" becomes "d_N") — the priming map the analytical fast
+// tier takes in place of a memory image.
+func (k *Kernel) DataInts() map[string]int64 {
+	out := make(map[string]int64, len(k.Ints))
+	for name, val := range k.Ints {
+		out[compiler.DataSym(name)] = val
+	}
+	return out
+}
+
 // Run executes the primed kernel and returns the simulator statistics.
 func (c *Compiled) Run(cfg vm.Config) (vm.Stats, *vm.CPU, error) {
 	cpu, err := c.NewCPU(cfg)

@@ -15,6 +15,11 @@
 //   - isatiming: every isa.Op constant appears in the opNames table and
 //     in exactly one of the Table 1 timings map or the scalarOnly set,
 //     so an opcode cannot be added without deciding its vector timing.
+//   - tiermap: the fast tier's stall taxonomy (fasttier.Cause, causeNames)
+//     is a name-and-order bijection with the simulator's (vm.StallCause,
+//     stallNames) — the import graph keeps the packages apart, so the
+//     correspondence is enforced here — and macs.tierNames names every
+//     declared Tier.
 //   - nopanic: no naked panic() in non-test code of any package
 //     reachable from internal/service's import graph — a panic there is
 //     a crashed request at best and a dead daemon at worst. Functions
@@ -179,6 +184,7 @@ func Run(root string) ([]Finding, error) {
 	var fs []Finding
 	fs = append(fs, checkExhaustive(m)...)
 	fs = append(fs, checkISATiming(m)...)
+	fs = append(fs, checkTierMap(m)...)
 	fs = append(fs, checkPanics(m)...)
 	fs = append(fs, checkMustCalls(m)...)
 	sort.Slice(fs, func(i, j int) bool {

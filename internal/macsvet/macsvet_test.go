@@ -19,6 +19,9 @@ func TestFixtureFindings(t *testing.T) {
 		{"caller/caller.go", "musttest", "MustRun panics on error"},
 		{"eng/eng.go", "nopanic", "naked panic in Run"},
 		{"enums/enums.go", "exhaustive", "missing Blue"},
+		{"fixture.go", "tiermap", "tierNames has 1 entries for 2 Tier members"},
+		{"internal/fasttier/cause.go", "tiermap", "must be CauseChain"},
+		{"internal/fasttier/cause.go", "tiermap", `causeNames[1] = "hiccup", stallNames[1] = "bubble"`},
 		{"paint/paint.go", "exhaustive", "missing Green, Blue"},
 	}
 	if len(fs) != len(want) {

@@ -1,0 +1,16 @@
+// Package fixture is the module root: its Tier enum has more members
+// than tierNames names, which the tiermap rule must flag.
+package fixture
+
+// Tier selects a serving tier.
+type Tier int
+
+// Tiers.
+const (
+	TierExact Tier = iota
+	TierFast
+	NumTiers
+)
+
+// tierNames is one entry short.
+var tierNames = [NumTiers]string{"exact"}

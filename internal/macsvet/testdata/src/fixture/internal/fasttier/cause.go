@@ -1,0 +1,18 @@
+// Package fasttier exercises the tiermap rule: its taxonomy must mirror
+// the vm fixture's member for member — and deliberately does not.
+package fasttier
+
+// Cause is the fast tier's stall taxonomy.
+type Cause int
+
+// Causes; CauseWrong breaks the bijection (vm's third member is
+// StallChain).
+const (
+	CauseStartup Cause = iota
+	CauseBubble
+	CauseWrong
+	NumCauses
+)
+
+// causeNames diverges from stallNames in entry 1.
+var causeNames = [NumCauses]string{"startup", "hiccup", "chain-wait"}

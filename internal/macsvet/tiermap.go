@@ -1,0 +1,164 @@
+package macsvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// checkTierMap enforces the fast-tier/simulator correspondence that the
+// import graph forbids expressing in code (internal/fasttier must not
+// import internal/vm):
+//
+//   - every fasttier.Cause constant maps onto the vm attribution
+//     taxonomy: member i must be Cause<X> where vm's member i is
+//     Stall<X>, a name-and-order bijection;
+//   - the causeNames and stallNames string tables agree element-wise,
+//     so the two tiers' attribution ledgers share a wire vocabulary;
+//   - the macs.Tier enum's tierNames table has exactly one entry per
+//     declared tier, so a new tier cannot be added without naming it.
+//
+// The rule is a no-op for modules without these packages (test fixtures).
+func checkTierMap(m *Module) []Finding {
+	ft := m.Pkgs[m.Path+"/internal/fasttier"]
+	vm := m.Pkgs[m.Path+"/internal/vm"]
+	root := m.Pkgs[m.Path]
+	if ft == nil || vm == nil {
+		return nil
+	}
+	var fs []Finding
+
+	causes, causePos := typedConsts(ft, "Cause")
+	stalls, stallPos := typedConsts(vm, "StallCause")
+	if len(causes) != len(stalls) {
+		pos := token.NoPos
+		if len(causePos) > 0 {
+			pos = causePos[0]
+		}
+		fs = append(fs, Finding{Pos: m.Fset.Position(pos), Rule: "tiermap",
+			Message: fmt.Sprintf("fasttier declares %d Cause members, vm declares %d StallCause members; the taxonomies must be bijective",
+				len(causes), len(stalls))})
+	}
+	for i := 0; i < len(causes) && i < len(stalls); i++ {
+		want := "Cause" + strings.TrimPrefix(stalls[i], "Stall")
+		if causes[i] != want {
+			fs = append(fs, Finding{Pos: m.Fset.Position(causePos[i]), Rule: "tiermap",
+				Message: fmt.Sprintf("fasttier cause #%d is %s; vm's #%d is %s, so it must be %s",
+					i, causes[i], i, stalls[i], want)})
+		}
+		_ = stallPos
+	}
+
+	causeNames, cnPos := stringTable(ft, "causeNames")
+	stallNames, _ := stringTable(vm, "stallNames")
+	switch {
+	case causeNames == nil:
+		fs = append(fs, Finding{Pos: m.Fset.Position(token.NoPos), Rule: "tiermap",
+			Message: "internal/fasttier: causeNames not found as a composite-literal var"})
+	case stallNames == nil:
+		fs = append(fs, Finding{Pos: m.Fset.Position(token.NoPos), Rule: "tiermap",
+			Message: "internal/vm: stallNames not found as a composite-literal var"})
+	case len(causeNames) != len(stallNames):
+		fs = append(fs, Finding{Pos: m.Fset.Position(cnPos), Rule: "tiermap",
+			Message: fmt.Sprintf("causeNames has %d entries, stallNames has %d; the wire vocabularies must match",
+				len(causeNames), len(stallNames))})
+	default:
+		for i := range causeNames {
+			if causeNames[i] != stallNames[i] {
+				fs = append(fs, Finding{Pos: m.Fset.Position(cnPos), Rule: "tiermap",
+					Message: fmt.Sprintf("causeNames[%d] = %q, stallNames[%d] = %q; the two tiers would report the same stall under different names",
+						i, causeNames[i], i, stallNames[i])})
+			}
+		}
+	}
+
+	if root != nil {
+		tiers, tierPos := typedConsts(root, "Tier")
+		tierNames, tnPos := stringTable(root, "tierNames")
+		switch {
+		case len(tiers) == 0:
+			// No Tier enum (older module snapshot): nothing to check.
+		case tierNames == nil:
+			fs = append(fs, Finding{Pos: m.Fset.Position(tierPos[0]), Rule: "tiermap",
+				Message: "macs: tierNames not found as a composite-literal var"})
+		case len(tierNames) != len(tiers):
+			fs = append(fs, Finding{Pos: m.Fset.Position(tnPos), Rule: "tiermap",
+				Message: fmt.Sprintf("tierNames has %d entries for %d Tier members; every tier must be named",
+					len(tierNames), len(tiers))})
+		}
+	}
+	return fs
+}
+
+// typedConsts returns the named members of type typeName declared in
+// const blocks of p, in declaration order, sentinels excluded.
+func typedConsts(p *Pkg, typeName string) ([]string, []token.Pos) {
+	var names []string
+	var poss []token.Pos
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			cur := ""
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				switch {
+				case vs.Type != nil:
+					cur = ""
+					if id, ok := vs.Type.(*ast.Ident); ok {
+						cur = id.Name
+					}
+				case len(vs.Values) > 0:
+					cur = ""
+				}
+				if cur != typeName {
+					continue
+				}
+				for _, n := range vs.Names {
+					if n.Name == "_" || sentinel(n.Name) {
+						continue
+					}
+					names = append(names, n.Name)
+					poss = append(poss, n.Pos())
+				}
+			}
+		}
+	}
+	return names, poss
+}
+
+// stringTable returns the ordered string elements of the composite
+// literal assigned to var name in p, or nil if no such var exists.
+func stringTable(p *Pkg, name string) ([]string, token.Pos) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					var out []string
+					for _, elt := range cl.Elts {
+						if bl, ok := elt.(*ast.BasicLit); ok && bl.Kind == token.STRING {
+							out = append(out, strings.Trim(bl.Value, `"`))
+						}
+					}
+					return out, cl.Pos()
+				}
+			}
+		}
+	}
+	return nil, token.NoPos
+}

@@ -1,0 +1,68 @@
+package mem
+
+import "fmt"
+
+// Layout assigns symbol base addresses using exactly the same address
+// arithmetic as Memory.Alloc — bump allocation from address 64, 8-byte
+// aligned — without allocating a byte image. The analytical fast tier
+// uses it to predict the addresses the loader will hand out, so its
+// bank-phase math agrees with the simulator's by construction: both sides
+// share this one definition of where symbols land.
+type Layout struct {
+	symbols map[string]int64
+	sizes   map[string]int64
+	next    int64
+}
+
+// NewLayout returns an empty layout with the loader's base address.
+func NewLayout() *Layout {
+	return &Layout{
+		symbols: make(map[string]int64),
+		sizes:   make(map[string]int64),
+		next:    layoutBase,
+	}
+}
+
+// layoutBase is the first allocatable address; Memory.New keeps address 0
+// unmapped to catch null dereferences and Layout must agree.
+const layoutBase = 64
+
+// Place assigns a base address to a named symbol, mirroring Memory.Alloc:
+// placing an existing name returns its existing base (sizes must match).
+func (l *Layout) Place(name string, size int64) (int64, error) {
+	if size < 0 {
+		return 0, errNegativeSize(name)
+	}
+	if addr, ok := l.symbols[name]; ok {
+		if prev := l.sizes[name]; prev != size {
+			return 0, errResize(name, size, prev)
+		}
+		return addr, nil
+	}
+	addr := (l.next + 7) &^ 7
+	l.symbols[name] = addr
+	l.sizes[name] = size
+	l.next = addr + size
+	return addr, nil
+}
+
+// Addr resolves a placed symbol to its base address.
+func (l *Layout) Addr(name string) (int64, bool) {
+	a, ok := l.symbols[name]
+	return a, ok
+}
+
+// Reset forgets every placement, reusing the maps.
+func (l *Layout) Reset() {
+	clear(l.symbols)
+	clear(l.sizes)
+	l.next = layoutBase
+}
+
+func errNegativeSize(name string) error {
+	return fmt.Errorf("mem: negative size for %q", name)
+}
+
+func errResize(name string, size, prev int64) error {
+	return fmt.Errorf("mem: symbol %q re-allocated with size %d (was %d)", name, size, prev)
+}

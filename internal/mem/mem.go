@@ -77,11 +77,11 @@ func (m *Memory) Reset() {
 // (sizes must then match).
 func (m *Memory) Alloc(name string, size int64) (int64, error) {
 	if size < 0 {
-		return 0, fmt.Errorf("mem: negative size for %q", name)
+		return 0, errNegativeSize(name)
 	}
 	if addr, ok := m.symbols[name]; ok {
 		if prev := m.sizes[name]; prev != size {
-			return 0, fmt.Errorf("mem: symbol %q re-allocated with size %d (was %d)", name, size, prev)
+			return 0, errResize(name, size, prev)
 		}
 		return addr, nil
 	}

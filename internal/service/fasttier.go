@@ -1,0 +1,185 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"macs"
+)
+
+// This file is the serving side of the analytical fast tier: the
+// tier=fast path answers from the compiled schedule in microseconds,
+// and the tier=auto path serves that answer immediately while an
+// asynchronous exact simulation verifies it, feeding the fast_tier
+// divergence section of /metrics.
+
+// fastTierTracker aggregates fast-tier serving counters and the
+// predicted-vs-simulated divergence sampled whenever one request ran
+// both tiers, grouped by the prediction's calibration class.
+type fastTierTracker struct {
+	mu        sync.Mutex
+	served    int64
+	fallbacks int64
+	classes   map[string]*divergenceAgg
+}
+
+type divergenceAgg struct {
+	count  int64
+	sumRel float64
+	maxRel float64
+}
+
+func newFastTierTracker() *fastTierTracker {
+	return &fastTierTracker{classes: make(map[string]*divergenceAgg)}
+}
+
+// recordServed counts one request answered by the fast tier.
+func (t *fastTierTracker) recordServed() {
+	t.mu.Lock()
+	t.served++
+	t.mu.Unlock()
+}
+
+// recordFallback counts one auto request the fast tier could not answer
+// (data-dependent timing) that was served by the simulator instead.
+func (t *fastTierTracker) recordFallback() {
+	t.mu.Lock()
+	t.fallbacks++
+	t.mu.Unlock()
+}
+
+// recordDivergence folds one predicted-vs-simulated comparison into the
+// per-class aggregate.
+func (t *fastTierTracker) recordDivergence(class string, relErr float64) {
+	if class == "" {
+		class = "unknown"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.classes[class]
+	if !ok {
+		a = &divergenceAgg{}
+		t.classes[class] = a
+	}
+	a.count++
+	a.sumRel += relErr
+	if relErr > a.maxRel {
+		a.maxRel = relErr
+	}
+}
+
+func (t *fastTierTracker) snapshot() FastTierStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := FastTierStats{Served: t.served, Fallbacks: t.fallbacks}
+	if len(t.classes) > 0 {
+		out.Classes = make(map[string]DivergenceStats, len(t.classes))
+		keys := make([]string, 0, len(t.classes))
+		for class := range t.classes {
+			keys = append(keys, class)
+		}
+		sort.Strings(keys)
+		for _, class := range keys {
+			a := t.classes[class]
+			out.Verified += a.count
+			out.Classes[class] = DivergenceStats{
+				Count:      a.count,
+				MeanRelErr: a.sumRel / float64(a.count),
+				MaxRelErr:  a.maxRel,
+			}
+		}
+	}
+	return out
+}
+
+// analyzeFast serves one request through the analytical tier only. The
+// cache key is distinct from the exact tier's — the two answer different
+// questions — but shared between tier=fast and tier=auto requests, which
+// compute the same prediction.
+func (s *Service) analyzeFast(ctx context.Context, req AnalyzeRequest, tier macs.Tier) (AnalyzeResponse, error) {
+	start := time.Now()
+	key, err := NewKey("analyze-fast", req.Source, s.cfg.Compiler, s.cfg.VM, s.cfg.Rules, req.Iterations, req.Prime)
+	if err != nil {
+		s.observe("analyze-fast", start, false, err)
+		return AnalyzeResponse{}, err
+	}
+	v, cached, err := s.do(ctx, key, func() (any, error) {
+		res, err := s.analyzer.PredictSource(req.Source, req.Iterations, req.Prime.fastInts())
+		if err != nil {
+			return nil, err
+		}
+		p := res.Prediction
+		return &AnalyzeResponse{
+			Bounds:       boundsView(res.Analysis),
+			PredictedCPL: p.CPL,
+			ErrorBand:    p.ErrorBand,
+			Class:        p.Class,
+			Cycles:       p.Cycles,
+			Iterations:   res.Iterations,
+			Report:       res.Report(),
+			Attribution:  p.Attr.Totals(),
+		}, nil
+	})
+	s.observe("analyze-fast", start, cached, err)
+	if err != nil {
+		return AnalyzeResponse{}, err
+	}
+	resp := *v.(*AnalyzeResponse)
+	resp.Tier = tier.String()
+	resp.Cached = cached
+	s.fastTier.recordServed()
+	return resp, nil
+}
+
+// analyzeAuto serves the fast prediction immediately and verifies it
+// against the simulator asynchronously. A program whose timing the fast
+// tier cannot model falls back to the exact tier inline.
+func (s *Service) analyzeAuto(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, error) {
+	resp, err := s.analyzeFast(ctx, req, macs.TierAuto)
+	if err != nil {
+		if errors.Is(err, macs.ErrDataDependent) {
+			s.fastTier.recordFallback()
+			return s.analyzeExact(ctx, req)
+		}
+		return AnalyzeResponse{}, err
+	}
+	s.verifyAsync(req, resp)
+	return resp, nil
+}
+
+// verifyAsync runs the exact tier in the background for a fast answer
+// already served, and records the relative divergence between predicted
+// and simulated cycles. The exact run goes through the normal cache and
+// worker pool, so a later tier=exact request for the same source is a
+// cache hit.
+func (s *Service) verifyAsync(req AnalyzeRequest, fast AnalyzeResponse) {
+	s.verifyWG.Add(1)
+	go func() {
+		defer s.verifyWG.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+		defer cancel()
+		exact, err := s.analyzeExact(ctx, req)
+		if err != nil {
+			s.log.Warn("fast-tier verification failed", "err", err)
+			return
+		}
+		if exact.Cycles <= 0 {
+			return
+		}
+		rel := math.Abs(float64(fast.Cycles-exact.Cycles)) / float64(exact.Cycles)
+		s.fastTier.recordDivergence(fast.Class, rel)
+		if fast.ErrorBand > 0 && rel > fast.ErrorBand {
+			s.log.Warn("fast-tier prediction outside its error band",
+				"class", fast.Class,
+				"predicted_cycles", fast.Cycles,
+				"simulated_cycles", exact.Cycles,
+				"rel_err", rel,
+				"band", fast.ErrorBand,
+			)
+		}
+	}()
+}

@@ -1,0 +1,194 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// dataDepSrc branches on a floating-point comparison, which the fast
+// tier cannot resolve: predicting it must fail with ErrDataDependent
+// and an auto request must fall back to the simulator.
+const dataDepSrc = `
+PROGRAM DATADEP
+REAL X(128), S
+INTEGER N, K
+DO K = 1, N
+  X(K) = X(K) + S
+ENDDO
+IF (S .LT. 1.0) GOTO 10
+10 CONTINUE
+END
+`
+
+func TestAnalyzeFastTier(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueSize: 8})
+	req := AnalyzeRequest{
+		Source:     saxpySrc,
+		Iterations: 64,
+		Prime:      Priming{Ints: map[string]int64{"N": 64}},
+		Tier:       "fast",
+	}
+	r1, err := s.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Tier != "fast" {
+		t.Fatalf("tier = %q, want fast", r1.Tier)
+	}
+	if r1.PredictedCPL <= 0 || r1.ErrorBand <= 0 || r1.Cycles <= 0 {
+		t.Fatalf("implausible fast result: %+v", r1)
+	}
+	if r1.MeasuredCPL != 0 {
+		t.Fatalf("fast tier reported a measured CPL %g without simulating", r1.MeasuredCPL)
+	}
+	if r1.Bounds.TMACS <= 0 {
+		t.Fatalf("fast tier lost the bounds hierarchy: %+v", r1.Bounds)
+	}
+	if len(r1.Attribution) == 0 {
+		t.Fatal("fast tier returned no predicted attribution")
+	}
+	r2, err := s.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("identical second fast request missed the cache")
+	}
+	m := s.Metrics()
+	if m.FastTier.Served < 2 {
+		t.Fatalf("fast_tier.served = %d, want >= 2", m.FastTier.Served)
+	}
+}
+
+// TestAnalyzeAutoTier: an auto request answers with the fast prediction
+// immediately and the asynchronous exact verification lands a divergence
+// sample on /metrics — and warms the exact-tier cache.
+func TestAnalyzeAutoTier(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueSize: 8})
+	req := AnalyzeRequest{
+		Source:     saxpySrc,
+		Iterations: 64,
+		Prime:      Priming{Ints: map[string]int64{"N": 64}},
+		Tier:       "auto",
+	}
+	r, err := s.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tier != "auto" {
+		t.Fatalf("tier = %q, want auto", r.Tier)
+	}
+	if r.PredictedCPL <= 0 || r.Cycles <= 0 {
+		t.Fatalf("implausible auto result: %+v", r)
+	}
+
+	s.verifyWG.Wait() // let the async exact verification finish
+
+	m := s.Metrics()
+	ft := m.FastTier
+	if ft.Verified != 1 {
+		t.Fatalf("fast_tier.verified = %d, want 1", ft.Verified)
+	}
+	d, ok := ft.Classes[r.Class]
+	if !ok {
+		t.Fatalf("fast_tier.classes missing %q: %+v", r.Class, ft.Classes)
+	}
+	if d.Count != 1 {
+		t.Fatalf("class %s divergence count = %d, want 1", r.Class, d.Count)
+	}
+	// The replay ports the simulator's timing equations exactly, so the
+	// divergence must sit inside the stated band (and, today, at zero).
+	if d.MaxRelErr > r.ErrorBand {
+		t.Fatalf("divergence %.4f exceeds the stated band %.4f", d.MaxRelErr, r.ErrorBand)
+	}
+
+	// The verification ran through the normal exact path: a follow-up
+	// exact request is a cache hit.
+	exact, err := s.Analyze(context.Background(), AnalyzeRequest{
+		Source:     req.Source,
+		Iterations: req.Iterations,
+		Prime:      req.Prime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Cached {
+		t.Fatal("exact request after auto verification missed the cache")
+	}
+	if exact.Tier != "exact" {
+		t.Fatalf("exact response tier = %q", exact.Tier)
+	}
+	// Predicted and simulated cycles agree bit-exactly for this kernel.
+	if exact.Cycles != r.Cycles {
+		t.Fatalf("predicted %d cycles, simulated %d", r.Cycles, exact.Cycles)
+	}
+}
+
+// TestAnalyzeAutoFallback: a data-dependent program cannot be served by
+// the fast tier; auto falls back to the simulator inline and counts the
+// fallback on /metrics.
+func TestAnalyzeAutoFallback(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueSize: 8})
+	req := AnalyzeRequest{
+		Source: dataDepSrc,
+		Prime:  Priming{Ints: map[string]int64{"N": 16}},
+		Tier:   "auto",
+	}
+	r, err := s.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tier != "exact" {
+		t.Fatalf("fallback response tier = %q, want exact", r.Tier)
+	}
+	if r.Cycles <= 0 {
+		t.Fatalf("fallback produced no simulation: %+v", r)
+	}
+	if r.PredictedCPL != 0 {
+		t.Fatalf("fallback carries a prediction: %+v", r)
+	}
+	m := s.Metrics()
+	if m.FastTier.Fallbacks != 1 {
+		t.Fatalf("fast_tier.fallbacks = %d, want 1", m.FastTier.Fallbacks)
+	}
+
+	// An explicit tier=fast request for the same program is an error, not
+	// a silent fallback.
+	req.Tier = "fast"
+	if _, err := s.Analyze(context.Background(), req); err == nil {
+		t.Fatal("tier=fast on a data-dependent program succeeded; want error")
+	}
+}
+
+func TestAnalyzeTierValidationAndDefault(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueSize: 4})
+	if _, err := s.Analyze(context.Background(), AnalyzeRequest{Source: saxpySrc, Tier: "warp"}); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+
+	// A service configured with DefaultTier "fast" serves untagged
+	// requests through the fast tier.
+	fastDefault := newTestService(t, Config{Workers: 1, QueueSize: 4, DefaultTier: "fast"})
+	r, err := fastDefault.Analyze(context.Background(), AnalyzeRequest{
+		Source: saxpySrc,
+		Prime:  Priming{Ints: map[string]int64{"N": 32}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tier != "fast" {
+		t.Fatalf("default-tier response tier = %q, want fast", r.Tier)
+	}
+	// An explicit tier in the request still wins over the default.
+	r, err = fastDefault.Analyze(context.Background(), AnalyzeRequest{
+		Source: saxpySrc,
+		Prime:  Priming{Ints: map[string]int64{"N": 32}},
+		Tier:   "exact",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tier != "exact" {
+		t.Fatalf("explicit exact tier served as %q", r.Tier)
+	}
+}

@@ -20,7 +20,9 @@ const maxBodyBytes = 4 << 20
 
 // NewHandler wires the service into an http.Handler:
 //
-//	POST /v1/analyze   full pipeline (compile, bound, simulate)
+//	POST /v1/analyze   full pipeline; ?tier=exact|fast|auto selects the
+//	                   serving tier (auto: fast answer now, exact
+//	                   verification async)
 //	POST /v1/bound     bounds hierarchy only
 //	POST /v1/check     static verification only (diagnostics, no execution)
 //	POST /v1/ax        A-process / X-process measurement
@@ -33,7 +35,11 @@ const maxBodyBytes = 4 << 20
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		tier := r.URL.Query().Get("tier")
 		handleJSON(s, w, r, func(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, error) {
+			if tier != "" {
+				req.Tier = tier
+			}
 			return s.Analyze(ctx, req)
 		})
 	})

@@ -328,3 +328,48 @@ func TestHTTPAnalyzeAttribution(t *testing.T) {
 		t.Errorf("cache hit inflated stall_cycles[refresh]: %d vs %d", got, r.Attribution["refresh"])
 	}
 }
+
+// TestHTTPAnalyzeTierQueryParam: ?tier= selects the serving tier over
+// HTTP, overrides the body, and the fast_tier metrics section reflects
+// the auto-tier divergence samples.
+func TestHTTPAnalyzeTierQueryParam(t *testing.T) {
+	s, srv := newTestServer(t, Config{Workers: 2, QueueSize: 8})
+	req := AnalyzeRequest{Source: saxpySrc, Iterations: 32,
+		Prime: Priming{Ints: map[string]int64{"N": 32}}, Tier: "exact"}
+
+	resp := postJSON(t, srv.URL+"/v1/analyze?tier=fast", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tier=fast status = %d", resp.StatusCode)
+	}
+	r := decode[AnalyzeResponse](t, resp)
+	if r.Tier != "fast" {
+		t.Fatalf("tier = %q, want fast (query param overrides body)", r.Tier)
+	}
+	if r.PredictedCPL <= 0 || r.ErrorBand <= 0 {
+		t.Fatalf("fast response missing prediction: %+v", r)
+	}
+
+	resp = postJSON(t, srv.URL+"/v1/analyze?tier=auto", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tier=auto status = %d", resp.StatusCode)
+	}
+	if r = decode[AnalyzeResponse](t, resp); r.Tier != "auto" {
+		t.Fatalf("tier = %q, want auto", r.Tier)
+	}
+	s.verifyWG.Wait()
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decode[Snapshot](t, mresp)
+	if m.FastTier.Served < 2 || m.FastTier.Verified != 1 {
+		t.Fatalf("fast_tier = %+v, want served >= 2 and verified = 1", m.FastTier)
+	}
+
+	resp = postJSON(t, srv.URL+"/v1/analyze?tier=warp", req)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown tier status = %d, want 422", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

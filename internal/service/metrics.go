@@ -106,6 +106,32 @@ type Snapshot struct {
 	// SimPool reports the analyzer's simulator pool: CPUs created versus
 	// runs served by a recycled one.
 	SimPool SimPoolStats `json:"sim_pool"`
+	// FastTier reports the analytical tier: requests served, fallbacks,
+	// and the live predicted-vs-simulated divergence per kernel class.
+	FastTier FastTierStats `json:"fast_tier"`
+}
+
+// FastTierStats is the fast_tier section of /metrics.
+type FastTierStats struct {
+	// Served counts requests answered by the fast tier (tier=fast and
+	// the fast half of tier=auto).
+	Served int64 `json:"served"`
+	// Fallbacks counts auto requests whose timing was data-dependent and
+	// were served by the simulator instead.
+	Fallbacks int64 `json:"fallbacks"`
+	// Verified counts completed predicted-vs-simulated comparisons (the
+	// sum of the per-class sample counts).
+	Verified int64 `json:"verified"`
+	// Classes is the divergence aggregate per calibration class.
+	Classes map[string]DivergenceStats `json:"classes,omitempty"`
+}
+
+// DivergenceStats summarizes |predicted − simulated| / simulated over
+// the auto-tier requests of one kernel class.
+type DivergenceStats struct {
+	Count      int64   `json:"count"`
+	MeanRelErr float64 `json:"mean_rel_err"`
+	MaxRelErr  float64 `json:"max_rel_err"`
 }
 
 // SimPoolStats is the simulator-pool section of /metrics.

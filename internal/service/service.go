@@ -39,6 +39,9 @@ type Config struct {
 	Compiler macs.CompilerOptions
 	VM       macs.VMConfig
 	Rules    macs.Rules
+	// DefaultTier serves analyze requests that do not name a tier:
+	// "exact" (empty), "fast" or "auto".
+	DefaultTier string
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -113,6 +116,13 @@ type Service struct {
 	mu      sync.Mutex
 	flights map[Key]*flight
 
+	// fastTier aggregates fast-tier serving counters and the
+	// predicted-vs-simulated divergence sampled by auto-tier requests.
+	fastTier *fastTierTracker
+	// verifyWG tracks in-flight asynchronous exact verifications spawned
+	// by auto-tier requests, so Close drains them.
+	verifyWG sync.WaitGroup
+
 	dedupShared  atomic.Int64
 	pipelineRuns atomic.Int64
 
@@ -134,6 +144,7 @@ func New(cfg Config) *Service {
 		log:        cfg.Logger,
 		analyzer:   macs.NewAnalyzer(cfg.VM),
 		flights:    make(map[Key]*flight),
+		fastTier:   newFastTierTracker(),
 		attrTotals: make(map[string]int64),
 	}
 }
@@ -165,8 +176,12 @@ func (s *Service) stallCycles() map[string]int64 {
 }
 
 // Close drains the service: no new work is accepted and every queued and
-// in-flight job runs to completion before Close returns.
-func (s *Service) Close() { s.pool.Close() }
+// in-flight job runs to completion before Close returns, including the
+// asynchronous exact verifications spawned by auto-tier requests.
+func (s *Service) Close() {
+	s.verifyWG.Wait()
+	s.pool.Close()
+}
 
 // Metrics returns the full observability snapshot served on /metrics.
 func (s *Service) Metrics() Snapshot {
@@ -179,6 +194,7 @@ func (s *Service) Metrics() Snapshot {
 		PipelineRuns:  s.pipelineRuns.Load(),
 		StallCycles:   s.stallCycles(),
 		SimPool:       s.simPool(),
+		FastTier:      s.fastTier.snapshot(),
 	}
 }
 
@@ -338,12 +354,34 @@ func (p Priming) primeFunc() func(*macs.CPU) error {
 	}
 }
 
+// fastInts rekeys the integer primings by data symbol, the shape the
+// fast tier's predictor reads. Reals and arrays are irrelevant to it:
+// float data never steers the timing model (a program whose schedule
+// depends on it is data-dependent and falls back to the simulator).
+func (p Priming) fastInts() map[string]int64 {
+	if len(p.Ints) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(p.Ints))
+	for name, v := range p.Ints {
+		out[compiler.DataSym(name)] = v
+	}
+	return out
+}
+
 // AnalyzeRequest asks for the full pipeline: compile, bound, simulate.
 type AnalyzeRequest struct {
 	Source string `json:"source"`
 	// Iterations converts measured cycles to CPL; 0 skips the conversion.
 	Iterations int64   `json:"iterations,omitempty"`
 	Prime      Priming `json:"prime,omitempty"`
+	// Tier selects how the request is served: "exact" (cycle-level
+	// simulation, the default), "fast" (analytical prediction only, in
+	// microseconds) or "auto" (fast answer immediately, exact
+	// verification asynchronously, divergence recorded on /metrics). The
+	// ?tier= query parameter overrides it; empty falls back to the
+	// service's configured default.
+	Tier string `json:"tier,omitempty"`
 }
 
 // BoundsView is the MA/MAC/MACS hierarchy in CPL, JSON-shaped.
@@ -371,12 +409,26 @@ func boundsView(a macs.Analysis) BoundsView {
 
 // AnalyzeResponse is the outcome of POST /v1/analyze.
 type AnalyzeResponse struct {
+	// Tier reports how the response was actually served: "exact", "fast"
+	// or "auto" (fast answer, exact verification in flight). An auto
+	// request whose program is data-dependent falls back and reports
+	// "exact".
+	Tier        string     `json:"tier"`
 	Bounds      BoundsView `json:"bounds"`
 	MeasuredCPL float64    `json:"measured_cpl"`
-	Cycles      int64      `json:"cycles"`
-	Iterations  int64      `json:"iterations"`
-	Stats       macs.Stats `json:"stats"`
-	Report      string     `json:"report"`
+	// PredictedCPL and ErrorBand carry the fast tier's calibrated
+	// prediction and its stated relative error band; Class is the
+	// calibration class the residual resolved through. Exact-tier
+	// responses leave all three zero.
+	PredictedCPL float64 `json:"predicted_cpl,omitempty"`
+	ErrorBand    float64 `json:"error_band,omitempty"`
+	Class        string  `json:"class,omitempty"`
+	Cycles       int64   `json:"cycles"`
+	Iterations   int64   `json:"iterations"`
+	// Stats carries the full simulator statistics; fast-tier responses,
+	// which run no simulator, omit it.
+	Stats  *macs.Stats `json:"stats,omitempty"`
+	Report string      `json:"report"`
 	// Attribution is the run's lane-summed stall attribution by cause
 	// (issue cycles under "issue"); a conserved ledger sums to
 	// 4 lanes × Cycles.
@@ -386,8 +438,31 @@ type AnalyzeResponse struct {
 	Cached bool `json:"cached"`
 }
 
-// Analyze runs (or recalls) the full pipeline for one kernel source.
+// Analyze runs (or recalls) the pipeline for one kernel source, under
+// the tier the request (or the service default) selects.
 func (s *Service) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, error) {
+	name := req.Tier
+	if name == "" {
+		name = s.cfg.DefaultTier
+	}
+	tier, err := macs.ParseTier(name)
+	if err != nil {
+		s.observe("analyze", time.Now(), false, err)
+		return AnalyzeResponse{}, err
+	}
+	switch tier {
+	case macs.TierExact:
+		return s.analyzeExact(ctx, req)
+	case macs.TierFast:
+		return s.analyzeFast(ctx, req, macs.TierFast)
+	case macs.TierAuto:
+		return s.analyzeAuto(ctx, req)
+	}
+	return AnalyzeResponse{}, fmt.Errorf("service: unhandled tier %v", tier)
+}
+
+// analyzeExact is the simulated path: compile, bound, simulate.
+func (s *Service) analyzeExact(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, error) {
 	start := time.Now()
 	key, err := NewKey("analyze", req.Source, s.cfg.Compiler, s.cfg.VM, s.cfg.Rules, req.Iterations, req.Prime)
 	if err != nil {
@@ -401,11 +476,12 @@ func (s *Service) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeRespo
 		}
 		s.recordAttr(res.Stats.Attr)
 		return &AnalyzeResponse{
+			Tier:        macs.TierExact.String(),
 			Bounds:      boundsView(res.Analysis),
 			MeasuredCPL: res.MeasuredCPL,
 			Cycles:      res.Stats.Cycles,
 			Iterations:  res.Iterations,
-			Stats:       res.Stats,
+			Stats:       &res.Stats,
 			Report:      res.Report(),
 			Attribution: res.Stats.Attr.Totals(),
 		}, nil

@@ -40,9 +40,11 @@ import (
 	"macs/internal/advisor"
 	"macs/internal/asm"
 	"macs/internal/ax"
+	"macs/internal/calib"
 	"macs/internal/compiler"
 	"macs/internal/core"
 	"macs/internal/experiments"
+	"macs/internal/fasttier"
 	"macs/internal/ftn"
 	"macs/internal/lfk"
 	"macs/internal/vectorize"
@@ -92,7 +94,61 @@ type (
 	VerifyError = verify.Error
 	// Severity grades a checker Diagnostic.
 	Severity = verify.Severity
+	// Prediction is the analytical fast tier's answer for one program:
+	// predicted cycles, calibrated CPL with its error band, and predicted
+	// per-lane stall attribution.
+	Prediction = fasttier.Prediction
+	// FastTierConfig configures the analytical fast tier.
+	FastTierConfig = fasttier.Config
 )
+
+// ErrDataDependent marks a program the fast tier cannot predict (its
+// timing depends on data the tier does not model); callers fall back to
+// the exact tier. Test with errors.Is.
+var ErrDataDependent = fasttier.ErrDataDependent
+
+// Tier selects how an analysis request is served: cycle-accurate
+// simulation, the analytical fast tier, or both (fast answer first, exact
+// verification after).
+//
+// macsvet:exhaustive
+type Tier int
+
+const (
+	// TierExact runs the cycle-level simulator (the default).
+	TierExact Tier = iota
+	// TierFast serves the analytical prediction only, in microseconds.
+	TierFast
+	// TierAuto serves the fast prediction and verifies against the
+	// simulator (asynchronously in the service), recording divergence.
+	TierAuto
+
+	// NumTiers is the number of serving tiers.
+	NumTiers
+)
+
+var tierNames = [NumTiers]string{"exact", "fast", "auto"}
+
+func (t Tier) String() string {
+	if t < 0 || t >= NumTiers {
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+	return tierNames[t]
+}
+
+// ParseTier parses a tier name ("exact", "fast", "auto"); the empty
+// string selects TierExact.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "", "exact":
+		return TierExact, nil
+	case "fast":
+		return TierFast, nil
+	case "auto":
+		return TierAuto, nil
+	}
+	return TierExact, fmt.Errorf("macs: unknown tier %q (want exact, fast or auto)", s)
+}
 
 // Diagnostic severities, least to most severe.
 const (
@@ -117,6 +173,10 @@ func Compile(src string, opts CompilerOptions) (*Program, error) {
 
 // ParseAsm parses assembly text into a Program.
 func ParseAsm(src string) (*Program, error) { return asm.Parse(src) }
+
+// DataSymbol maps a source-level variable name to its compiled data
+// symbol ("N" becomes "d_N") — the key space of fast-tier priming maps.
+func DataSymbol(name string) string { return compiler.DataSym(name) }
 
 // Verify statically checks a program (use-before-def, VL/VS discipline,
 // branch targets, static memory bounds, chime-resource conflicts) and
@@ -266,11 +326,16 @@ func analyzeOn(cpu *vm.CPU, src string, iterations int64, cfg VMConfig, prime fu
 type Analyzer struct {
 	cfg  VMConfig
 	pool *vm.Pool
+	pred *fasttier.Predictor
 }
 
 // NewAnalyzer creates an Analyzer for one simulator configuration.
 func NewAnalyzer(cfg VMConfig) *Analyzer {
-	return &Analyzer{cfg: cfg, pool: vm.NewPool(cfg)}
+	return &Analyzer{
+		cfg:  cfg,
+		pool: vm.NewPool(cfg),
+		pred: fasttier.NewPredictor(calib.FastTierConfig(cfg)),
+	}
 }
 
 // Config returns the analyzer's simulator configuration.
@@ -287,6 +352,74 @@ func (a *Analyzer) AnalyzeSource(src string, iterations int64, prime func(*CPU) 
 
 // PoolStats reports the analyzer pool's created and recycled CPU counts.
 func (a *Analyzer) PoolStats() (created, returned int64) { return a.pool.Stats() }
+
+// FastResult is the outcome of the analytical fast tier: the same bounds
+// hierarchy as Result, with a calibrated prediction in place of a
+// simulator measurement.
+type FastResult struct {
+	Analysis   Analysis
+	Program    *Program
+	Prediction Prediction
+	Iterations int64
+}
+
+// Report renders the hierarchy and prediction as text, the fast-tier
+// analogue of Result.Report.
+func (r FastResult) Report() string {
+	var b strings.Builder
+	a := r.Analysis
+	fmt.Fprintf(&b, "MA workload:  %s  -> t_MA  = %.3f CPL\n", a.MA, a.TMA)
+	fmt.Fprintf(&b, "MAC workload: %s  -> t_MAC = %.3f CPL\n", a.MAC, a.TMAC)
+	fmt.Fprintf(&b, "t_MACS = %.3f CPL over %d chimes (t_MACS^f %.3f, t_MACS^m %.3f)\n",
+		a.MACS.CPL, len(a.MACS.Chimes), a.MACSF.CPL, a.MACSM.CPL)
+	if r.Prediction.CPL > 0 {
+		fmt.Fprintf(&b, "predicted t_p = %.3f CPL ±%.1f%% (%d cycles, %d iterations, %s)\n",
+			r.Prediction.CPL, 100*r.Prediction.ErrorBand, r.Prediction.Cycles,
+			r.Iterations, calibLabel(r.Prediction))
+	}
+	return b.String()
+}
+
+func calibLabel(p Prediction) string {
+	if p.Calibrated {
+		return "calibrated: " + p.Class
+	}
+	return "uncalibrated"
+}
+
+// PredictSource serves a source through the analytical fast tier:
+// compile, bound, and predict cycles/CPL/attribution from the compiled
+// schedule without simulating. ints primes integer inputs by data-symbol
+// name (see Kernel.DataInts); iterations converts predicted cycles to
+// CPL. Programs whose timing depends on unmodeled data return
+// ErrDataDependent (wrapped) — fall back to AnalyzeSource.
+func (a *Analyzer) PredictSource(src string, iterations int64, ints map[string]int64) (FastResult, error) {
+	var res FastResult
+	prog, an, err := boundSource(src, compiler.DefaultOptions(), a.cfg.VLMax, a.cfg.Rules)
+	res.Program = prog
+	if err != nil {
+		return res, err
+	}
+	res.Analysis = an
+	res.Iterations = iterations
+	res.Prediction, err = a.pred.Predict(prog, iterations, ints)
+	return res, err
+}
+
+// PredictSource is the one-shot form of Analyzer.PredictSource under a
+// simulator configuration's machine parameters.
+func PredictSource(src string, iterations int64, cfg VMConfig, ints map[string]int64) (FastResult, error) {
+	var res FastResult
+	prog, an, err := boundSource(src, compiler.DefaultOptions(), cfg.VLMax, cfg.Rules)
+	res.Program = prog
+	if err != nil {
+		return res, err
+	}
+	res.Analysis = an
+	res.Iterations = iterations
+	res.Prediction, err = fasttier.Predict(prog, iterations, ints, calib.FastTierConfig(cfg))
+	return res, err
+}
 
 // ChromeTrace renders vector timing events (Result.Trace) as a Chrome
 // trace_event JSON document for chrome://tracing or Perfetto.
