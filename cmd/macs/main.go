@@ -22,6 +22,11 @@
 //	                               attribution table; -trace writes the
 //	                               vector timing as Chrome trace_event JSON
 //	macs ax      <kernel.f>        print the A-process and X-process codes
+//	macs batch [-addr URL] [-tier T] [-n N] [-ints N=1001] k1.f k2.f ...
+//	                               analyze many kernels in one batch and
+//	                               stream per-kernel NDJSON results; with
+//	                               -addr they go through a running macsd's
+//	                               /v1/batch, otherwise in-process
 //	macs calib                     run the Table 1 calibration loops
 //	macs lfk <id>                  analyze one case-study kernel
 //
@@ -29,10 +34,15 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -41,6 +51,7 @@ import (
 	"macs/internal/ax"
 	"macs/internal/calib"
 	"macs/internal/report"
+	"macs/internal/service"
 	"macs/internal/vm"
 )
 
@@ -65,6 +76,8 @@ func main() {
 		err = cmdAttr(os.Stdout, args)
 	case "ax":
 		err = cmdAX(os.Stdout, args)
+	case "batch":
+		err = cmdBatch(os.Stdout, args)
 	case "calib":
 		err = cmdCalib(os.Stdout, args)
 	case "sweep":
@@ -81,7 +94,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: macs {compile|check|bound|sim|analyze|attr|ax} <kernel.f> | macs calib | macs sweep | macs lfk <id>")
+	fmt.Fprintln(os.Stderr, "usage: macs {compile|check|bound|sim|analyze|attr|ax} <kernel.f> | macs batch <k1.f> <k2.f> ... | macs calib | macs sweep | macs lfk <id>")
 	os.Exit(2)
 }
 
@@ -264,6 +277,20 @@ func cmdAnalyze(w io.Writer, args []string) error {
 
 // parseInts parses "N=1001,LOOP=20" into a data-symbol priming map.
 func parseInts(s string) (map[string]int64, error) {
+	raw, err := parseIntsRaw(s)
+	if err != nil || raw == nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(raw))
+	for name, v := range raw {
+		out[macs.DataSymbol(name)] = v
+	}
+	return out, nil
+}
+
+// parseIntsRaw parses "N=1001,LOOP=20" keeping the variable names as
+// written — the form the service's Priming wants.
+func parseIntsRaw(s string) (map[string]int64, error) {
 	if s == "" {
 		return nil, nil
 	}
@@ -277,9 +304,115 @@ func parseInts(s string) (map[string]int64, error) {
 		if _, err := fmt.Sscanf(val, "%d", &v); err != nil {
 			return nil, fmt.Errorf("bad -ints value %q: %v", kv, err)
 		}
-		out[macs.DataSymbol(name)] = v
+		out[name] = v
 	}
 	return out, nil
+}
+
+// cmdBatch analyzes many kernels in one batch, streaming one NDJSON
+// result line per kernel as it completes. With -addr the batch goes
+// through a running macsd's /v1/batch endpoint; without it the batch
+// runs in-process through the same service engine.
+func cmdBatch(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	addr := fs.String("addr", "", "macsd base URL (e.g. http://localhost:8723); empty runs in-process")
+	tierName := fs.String("tier", "", "serving tier for every kernel: exact, fast or auto")
+	n := fs.Int64("n", 0, "inner-loop iterations for CPL conversion, applied to every kernel")
+	ints := fs.String("ints", "", "integer inputs to prime every kernel, e.g. N=1001,LOOP=20")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("missing kernel files")
+	}
+	if *tierName != "" {
+		if _, err := macs.ParseTier(*tierName); err != nil {
+			return err
+		}
+	}
+	primeInts, err := parseIntsRaw(*ints)
+	if err != nil {
+		return err
+	}
+
+	var req service.BatchRequest
+	for _, f := range files {
+		src, err := readSource([]string{f})
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		req.Items = append(req.Items, service.AnalyzeRequest{
+			Source:     src,
+			Iterations: *n,
+			Prime:      service.Priming{Ints: primeInts},
+			Tier:       *tierName,
+		})
+	}
+	if *addr != "" {
+		return batchRemote(w, *addr, req)
+	}
+	return batchLocal(w, req)
+}
+
+// batchLocal runs the batch through an in-process service, printing
+// each result line as the engine emits it.
+func batchLocal(w io.Writer, req service.BatchRequest) error {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	enc := json.NewEncoder(w)
+	failed := 0
+	err := svc.AnalyzeBatch(context.Background(), req, func(item service.BatchItemResult) {
+		if item.Error != "" {
+			failed++
+		}
+		enc.Encode(item) //nolint:errcheck // stdout
+	})
+	if err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d kernels failed", failed, len(req.Items))
+	}
+	return nil
+}
+
+// batchRemote POSTs the batch to a running macsd and relays the NDJSON
+// stream line by line as it arrives.
+func batchRemote(w io.Writer, addr string, req service.BatchRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(addr+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("batch status %s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	failed := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	for sc.Scan() {
+		var item service.BatchItemResult
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			return fmt.Errorf("bad batch line: %w", err)
+		}
+		if item.Error != "" {
+			failed++
+		}
+		fmt.Fprintf(w, "%s\n", sc.Bytes())
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d kernels failed", failed, len(req.Items))
+	}
+	return nil
 }
 
 // primeFunc turns a data-symbol priming map into the simulator priming

@@ -6,7 +6,14 @@
 // Usage:
 //
 //	macsd [-addr :8723] [-workers N] [-queue N] [-cache N]
-//	      [-timeout 30s] [-drain 30s] [-log text|json] [-tier exact]
+//	      [-cache-dir DIR] [-timeout 30s] [-drain 30s]
+//	      [-log text|json] [-tier exact]
+//
+// With -cache-dir set, results also persist to a disk-backed segment
+// store keyed by the same content addresses as the in-memory cache, so
+// a restarted daemon serves yesterday's kernels without re-running the
+// pipeline. Segments self-invalidate when the daemon's pipeline
+// configuration (or the persisted schema) changes.
 //
 // Endpoints:
 //
@@ -15,6 +22,8 @@
 //	                   (fast: analytical prediction in microseconds;
 //	                   auto: fast answer now, exact verification async
 //	                   with divergence tracked on /metrics)
+//	POST /v1/batch     {"items": [{...}, ...]}; per-kernel results
+//	                   stream back as NDJSON in completion order
 //	POST /v1/bound     {"source": "..."}
 //	POST /v1/ax        {"source": "...", "prime": {...}}
 //	GET  /v1/lfk/{id}  one case-study kernel (1,2,3,4,6,7,8,9,10,12)
@@ -48,6 +57,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent pipeline executions")
 	queue := flag.Int("queue", 2*runtime.NumCPU(), "pending-job queue depth (beyond it: 429)")
 	cacheSize := flag.Int("cache", 512, "result cache capacity, entries")
+	cacheDir := flag.String("cache-dir", "", "persistent result cache directory (empty: memory only)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout, queue wait included")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	logFormat := flag.String("log", "text", "log format: text or json")
@@ -71,6 +81,7 @@ func main() {
 		Workers:        *workers,
 		QueueSize:      *queue,
 		CacheSize:      *cacheSize,
+		CacheDir:       *cacheDir,
 		RequestTimeout: *timeout,
 		DefaultTier:    *tier,
 		Logger:         log,

@@ -1,16 +1,31 @@
-// Command macsload is a load generator for macsd. It drives the
-// /v1/analyze endpoint with the case-study Livermore kernels (real
-// sources, real priming data), first one cold pass over the distinct
-// kernels, then a hot phase of repeated requests, and reports req/s,
-// latency and the server's cache statistics — a direct measurement of
-// how much the content-addressed cache buys.
+// Command macsload is a load harness for macsd. It drives the
+// /v1/analyze endpoint (or /v1/batch with -batch) with the case-study
+// Livermore kernels (real sources, real priming data), first one cold
+// pass over the distinct kernels, then a hot phase with a fixed request
+// budget, and reports attempted/completed/error counts, req/s, latency
+// percentiles and the server's cache statistics — a direct measurement
+// of how much the content-addressed cache buys.
+//
+// The hot phase issues exactly -n requests: a 429 from the server's
+// backpressure gate retries the same request after a short sleep (it is
+// load the server asked to defer, not load to drop), and transport or
+// server errors are counted and reported separately instead of silently
+// shrinking the run.
+//
+// With -slo-p50 / -slo-p99 set, macsload becomes a gate: it exits 1
+// when the measured percentile exceeds its threshold or when the run is
+// incomplete (any request errored), which is what CI runs against the
+// LFK workload.
 //
 // Usage:
 //
 //	macsload [-addr http://localhost:8723] [-n 200] [-c 8] [-kernels 4]
+//	         [-tier exact|fast|auto] [-batch B]
+//	         [-slo-p50 5ms] [-slo-p99 50ms]
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -29,18 +44,42 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8723", "macsd base URL")
-	n := flag.Int("n", 200, "hot-phase request count")
+	n := flag.Int("n", 200, "hot-phase request budget (each is issued exactly once)")
 	c := flag.Int("c", 8, "concurrent clients")
 	nk := flag.Int("kernels", 4, "distinct kernels in the workload (max 10)")
+	tier := flag.String("tier", "", "serving tier for every request: exact, fast or auto (server default when empty)")
+	batch := flag.Int("batch", 0, "batch mode: items per /v1/batch request (0 = single /v1/analyze requests)")
+	sloP50 := flag.Duration("slo-p50", 0, "fail (exit 1) if hot-phase p50 exceeds this (0 disables)")
+	sloP99 := flag.Duration("slo-p99", 0, "fail (exit 1) if hot-phase p99 exceeds this (0 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *n, *c, *nk); err != nil {
+	if err := run(*addr, *n, *c, *nk, *tier, *batch, *sloP50, *sloP99); err != nil {
 		fmt.Fprintln(os.Stderr, "macsload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n, c, nk int) error {
+// counters aggregates the hot phase. attempted is the fixed budget that
+// was actually issued; completed are requests that got a 200 (after any
+// 429 retries); errored is everything else. attempted == completed +
+// errored at the end of a run.
+type counters struct {
+	attempted atomic.Int64
+	completed atomic.Int64
+	errored   atomic.Int64
+	retries   atomic.Int64 // 429s honored with a retry of the same request
+
+	mu   sync.Mutex
+	lats []time.Duration
+}
+
+func (ct *counters) record(d time.Duration) {
+	ct.mu.Lock()
+	ct.lats = append(ct.lats, d)
+	ct.mu.Unlock()
+}
+
+func run(addr string, n, c, nk int, tier string, batch int, sloP50, sloP99 time.Duration) error {
 	kernels := macs.Kernels()
 	if nk < 1 {
 		nk = 1
@@ -48,9 +87,10 @@ func run(addr string, n, c, nk int) error {
 	if nk > len(kernels) {
 		nk = len(kernels)
 	}
-	reqs := make([][]byte, nk)
+	reqs := make([]service.AnalyzeRequest, nk)
+	bodies := make([][]byte, nk)
 	for i, k := range kernels[:nk] {
-		body, err := json.Marshal(service.AnalyzeRequest{
+		reqs[i] = service.AnalyzeRequest{
 			Source:     k.Source,
 			Iterations: int64(k.Elements),
 			Prime: service.Priming{
@@ -58,32 +98,42 @@ func run(addr string, n, c, nk int) error {
 				Reals:  k.Reals,
 				Arrays: k.Arrays,
 			},
-		})
+			Tier: tier,
+		}
+		body, err := json.Marshal(reqs[i])
 		if err != nil {
 			return err
 		}
-		reqs[i] = body
+		bodies[i] = body
 	}
 
 	client := &http.Client{Timeout: 60 * time.Second}
 
-	// Cold pass: every distinct kernel once, sequentially.
+	// Cold pass: every distinct kernel once, sequentially. 429s retry —
+	// the cold pass must warm all nk kernels or the hot phase measures
+	// the wrong thing.
 	coldStart := time.Now()
-	for i, body := range reqs {
-		if _, err := analyze(client, addr, body); err != nil {
-			return fmt.Errorf("cold pass, kernel %d: %w", kernels[i].ID, err)
+	for i, body := range bodies {
+		for {
+			status, err := analyze(client, addr, body)
+			if err != nil {
+				return fmt.Errorf("cold pass, kernel %d: %w", kernels[i].ID, err)
+			}
+			if status == http.StatusTooManyRequests {
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			break
 		}
 	}
 	coldDur := time.Since(coldStart)
 	fmt.Printf("cold: %d kernels in %v (%.1f req/s)\n",
 		nk, coldDur.Round(time.Millisecond), float64(nk)/coldDur.Seconds())
 
-	// Hot phase: n requests over the same kernels from c clients.
+	// Hot phase: exactly n requests over the same kernels from c clients.
 	var (
-		idx     atomic.Int64
-		rejects atomic.Int64
-		mu      sync.Mutex
-		lats    []time.Duration
+		ct  counters
+		idx atomic.Int64
 	)
 	hotStart := time.Now()
 	var wg sync.WaitGroup
@@ -96,34 +146,36 @@ func run(addr string, n, c, nk int) error {
 				if i >= int64(n) {
 					return
 				}
-				t0 := time.Now()
-				status, err := analyze(client, addr, reqs[i%int64(nk)])
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "macsload:", err)
-					continue
+				ct.attempted.Add(1)
+				if batch > 0 {
+					hotBatch(client, addr, tier, bodies, reqs, int(i), batch, &ct)
+				} else {
+					hotOne(client, addr, bodies[i%int64(len(bodies))], &ct)
 				}
-				if status == http.StatusTooManyRequests {
-					rejects.Add(1)
-					time.Sleep(50 * time.Millisecond) // honor backpressure
-					continue
-				}
-				mu.Lock()
-				lats = append(lats, time.Since(t0))
-				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
 	hotDur := time.Since(hotStart)
 
+	ct.mu.Lock()
+	lats := ct.lats
+	ct.mu.Unlock()
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	fmt.Printf("hot:  %d requests, %d clients in %v (%.1f req/s, %d rejected)\n",
-		len(lats), c, hotDur.Round(time.Millisecond),
-		float64(len(lats))/hotDur.Seconds(), rejects.Load())
+
+	unit := "requests"
+	if batch > 0 {
+		unit = fmt.Sprintf("batches of %d", batch)
+	}
+	fmt.Printf("hot:  %d/%d %s completed, %d errors, %d clients in %v (%.1f req/s, %d retried after 429)\n",
+		ct.completed.Load(), ct.attempted.Load(), unit, ct.errored.Load(), c,
+		hotDur.Round(time.Millisecond),
+		float64(ct.completed.Load())/hotDur.Seconds(), ct.retries.Load())
+	p50, p99 := pct(lats, 50), pct(lats, 99)
 	if len(lats) > 0 {
 		fmt.Printf("      p50 %v  p90 %v  p99 %v  max %v\n",
-			pct(lats, 50).Round(time.Microsecond), pct(lats, 90).Round(time.Microsecond),
-			pct(lats, 99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+			p50.Round(time.Microsecond), pct(lats, 90).Round(time.Microsecond),
+			p99.Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
 	}
 
 	// Server-side view: cache effectiveness from /metrics.
@@ -139,7 +191,127 @@ func run(addr string, n, c, nk int) error {
 	fmt.Printf("server: cache %d/%d hit (%.1f%%), %d evictions, %d pipeline runs, %d deduped\n",
 		snap.Cache.Hits, snap.Cache.Hits+snap.Cache.Misses, 100*snap.Cache.HitRate,
 		snap.Cache.Evictions, snap.PipelineRuns, snap.DedupShared)
+	if snap.Persistent.Enabled {
+		fmt.Printf("        persistent cache: %d entries, %d hits, %d writes\n",
+			snap.Persistent.Entries, snap.Persistent.Hits, snap.Persistent.Writes)
+	}
+
+	// SLO gate.
+	var breaches []string
+	if errs := ct.errored.Load(); errs > 0 && (sloP50 > 0 || sloP99 > 0) {
+		breaches = append(breaches, fmt.Sprintf("incomplete run: %d of %d requests errored", errs, ct.attempted.Load()))
+	}
+	if sloP50 > 0 && p50 > sloP50 {
+		breaches = append(breaches, fmt.Sprintf("p50 %v exceeds SLO %v", p50.Round(time.Microsecond), sloP50))
+	}
+	if sloP99 > 0 && p99 > sloP99 {
+		breaches = append(breaches, fmt.Sprintf("p99 %v exceeds SLO %v", p99.Round(time.Microsecond), sloP99))
+	}
+	if len(breaches) > 0 {
+		for _, b := range breaches {
+			fmt.Fprintln(os.Stderr, "macsload: SLO:", b)
+		}
+		return fmt.Errorf("%d SLO breach(es)", len(breaches))
+	}
 	return nil
+}
+
+// hotOne issues one /v1/analyze request, retrying the same request
+// after a 429 so the budget is spent, never dropped.
+func hotOne(client *http.Client, addr string, body []byte, ct *counters) {
+	for {
+		t0 := time.Now()
+		status, err := analyze(client, addr, body)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macsload:", err)
+			ct.errored.Add(1)
+			return
+		}
+		if status == http.StatusTooManyRequests {
+			ct.retries.Add(1)
+			time.Sleep(50 * time.Millisecond) // honor backpressure, then retry
+			continue
+		}
+		ct.record(time.Since(t0))
+		ct.completed.Add(1)
+		return
+	}
+}
+
+// hotBatch issues one /v1/batch request of size items, reading the
+// NDJSON stream to completion. Latency covers the whole stream (the
+// last kernel's completion); a per-item error inside the stream counts
+// the batch as errored.
+func hotBatch(client *http.Client, addr, tier string, bodies [][]byte, reqs []service.AnalyzeRequest, seq, size int, ct *counters) {
+	items := make([]service.AnalyzeRequest, size)
+	for j := 0; j < size; j++ {
+		items[j] = reqs[(seq*size+j)%len(reqs)]
+	}
+	body, err := json.Marshal(service.BatchRequest{Items: items})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "macsload:", err)
+		ct.errored.Add(1)
+		return
+	}
+	for {
+		t0 := time.Now()
+		lines, status, err := postBatch(client, addr, body, size)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macsload:", err)
+			ct.errored.Add(1)
+			return
+		}
+		if status == http.StatusTooManyRequests {
+			ct.retries.Add(1)
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if lines != size {
+			fmt.Fprintf(os.Stderr, "macsload: batch returned %d clean results, want %d\n", lines, size)
+			ct.errored.Add(1)
+			return
+		}
+		ct.record(time.Since(t0))
+		ct.completed.Add(1)
+		return
+	}
+}
+
+// postBatch POSTs one batch and counts the clean NDJSON result lines as
+// they arrive. Error lines (per-item failures) are reported but not
+// counted as clean.
+func postBatch(client *http.Client, addr string, body []byte, size int) (int, int, error) {
+	resp, err := client.Post(addr+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return 0, resp.StatusCode, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return 0, resp.StatusCode, fmt.Errorf("batch status %s", resp.Status)
+	}
+	clean := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	for sc.Scan() {
+		var item service.BatchItemResult
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			return clean, resp.StatusCode, fmt.Errorf("bad batch line: %w", err)
+		}
+		if item.Error != "" {
+			fmt.Fprintf(os.Stderr, "macsload: batch item %d: %s\n", item.Index, item.Error)
+			continue
+		}
+		clean++
+	}
+	if err := sc.Err(); err != nil {
+		return clean, resp.StatusCode, err
+	}
+	return clean, resp.StatusCode, nil
 }
 
 // analyze POSTs one request and returns the HTTP status. Non-2xx and

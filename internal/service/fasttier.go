@@ -37,7 +37,9 @@ func newFastTierTracker() *fastTierTracker {
 	return &fastTierTracker{classes: make(map[string]*divergenceAgg)}
 }
 
-// recordServed counts one request answered by the fast tier.
+// recordServed counts one fresh fast-tier computation. Cache hits and
+// singleflight waiters do not call it: a kernel replayed N times is one
+// computation, not N, so the served counter tracks distinct work.
 func (t *fastTierTracker) recordServed() {
 	t.mu.Lock()
 	t.served++
@@ -99,15 +101,19 @@ func (t *fastTierTracker) snapshot() FastTierStats {
 // analyzeFast serves one request through the analytical tier only. The
 // cache key is distinct from the exact tier's — the two answer different
 // questions — but shared between tier=fast and tier=auto requests, which
-// compute the same prediction.
-func (s *Service) analyzeFast(ctx context.Context, req AnalyzeRequest, tier macs.Tier) (AnalyzeResponse, error) {
+// compute the same prediction. The second return value reports whether
+// this call ran a fresh prediction (as opposed to a cache hit or a
+// singleflight attach); the serving counters and the auto tier's
+// verification key off it so a kernel replayed N times lands one served
+// count and one divergence sample, not N.
+func (s *Service) analyzeFast(ctx context.Context, req AnalyzeRequest, tier macs.Tier) (AnalyzeResponse, bool, error) {
 	start := time.Now()
 	key, err := NewKey("analyze-fast", req.Source, s.cfg.Compiler, s.cfg.VM, s.cfg.Rules, req.Iterations, req.Prime)
 	if err != nil {
 		s.observe("analyze-fast", start, false, err)
-		return AnalyzeResponse{}, err
+		return AnalyzeResponse{}, false, err
 	}
-	v, cached, err := s.do(ctx, key, func() (any, error) {
+	v, cached, fresh, err := s.do(ctx, key, decodeJSON[AnalyzeResponse](), func() (any, error) {
 		res, err := s.analyzer.PredictSource(req.Source, req.Iterations, req.Prime.fastInts())
 		if err != nil {
 			return nil, err
@@ -126,20 +132,25 @@ func (s *Service) analyzeFast(ctx context.Context, req AnalyzeRequest, tier macs
 	})
 	s.observe("analyze-fast", start, cached, err)
 	if err != nil {
-		return AnalyzeResponse{}, err
+		return AnalyzeResponse{}, false, err
 	}
 	resp := *v.(*AnalyzeResponse)
 	resp.Tier = tier.String()
 	resp.Cached = cached
-	s.fastTier.recordServed()
-	return resp, nil
+	if fresh {
+		s.fastTier.recordServed()
+	}
+	return resp, fresh, nil
 }
 
 // analyzeAuto serves the fast prediction immediately and verifies it
 // against the simulator asynchronously. A program whose timing the fast
-// tier cannot model falls back to the exact tier inline.
+// tier cannot model falls back to the exact tier inline. Only a fresh
+// prediction spawns a verification: a cached fast answer was already
+// verified when it was computed, so replaying it must not add duplicate
+// divergence samples.
 func (s *Service) analyzeAuto(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, error) {
-	resp, err := s.analyzeFast(ctx, req, macs.TierAuto)
+	resp, fresh, err := s.analyzeFast(ctx, req, macs.TierAuto)
 	if err != nil {
 		if errors.Is(err, macs.ErrDataDependent) {
 			s.fastTier.recordFallback()
@@ -147,7 +158,9 @@ func (s *Service) analyzeAuto(ctx context.Context, req AnalyzeRequest) (AnalyzeR
 		}
 		return AnalyzeResponse{}, err
 	}
-	s.verifyAsync(req, resp)
+	if fresh {
+		s.verifyAsync(req, resp)
+	}
 	return resp, nil
 }
 
@@ -155,9 +168,19 @@ func (s *Service) analyzeAuto(ctx context.Context, req AnalyzeRequest) (AnalyzeR
 // already served, and records the relative divergence between predicted
 // and simulated cycles. The exact run goes through the normal cache and
 // worker pool, so a later tier=exact request for the same source is a
-// cache hit.
+// cache hit. Registration is gated on the service's closed flag under
+// closeMu: either the verification registers before Close flips the flag
+// (and Close's verifyWG.Wait drains it), or it observes the flag and
+// never starts — verifyWG.Add can no longer race Close's Wait into a
+// closed pool.
 func (s *Service) verifyAsync(req AnalyzeRequest, fast AnalyzeResponse) {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
 	s.verifyWG.Add(1)
+	s.closeMu.Unlock()
 	go func() {
 		defer s.verifyWG.Done()
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)

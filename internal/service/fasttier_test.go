@@ -54,9 +54,11 @@ func TestAnalyzeFastTier(t *testing.T) {
 	if !r2.Cached {
 		t.Fatal("identical second fast request missed the cache")
 	}
+	// served counts fresh computations, not requests: the replay was a
+	// cache hit, so two requests pin the counter at exactly 1.
 	m := s.Metrics()
-	if m.FastTier.Served < 2 {
-		t.Fatalf("fast_tier.served = %d, want >= 2", m.FastTier.Served)
+	if m.FastTier.Served != 1 {
+		t.Fatalf("fast_tier.served = %d, want 1 (cache hits must not count)", m.FastTier.Served)
 	}
 }
 
@@ -100,6 +102,30 @@ func TestAnalyzeAutoTier(t *testing.T) {
 	// divergence must sit inside the stated band (and, today, at zero).
 	if d.MaxRelErr > r.ErrorBand {
 		t.Fatalf("divergence %.4f exceeds the stated band %.4f", d.MaxRelErr, r.ErrorBand)
+	}
+
+	// Replaying the same auto request N times serves from the cache and
+	// must not add divergence samples: one kernel is one sample, however
+	// often it is replayed.
+	for i := 0; i < 3; i++ {
+		rr, err := s.Analyze(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rr.Cached {
+			t.Fatalf("auto replay %d missed the cache", i)
+		}
+	}
+	s.verifyWG.Wait()
+	m = s.Metrics()
+	if m.FastTier.Verified != 1 {
+		t.Fatalf("fast_tier.verified = %d after replays, want 1 (replays must not add samples)", m.FastTier.Verified)
+	}
+	if d := m.FastTier.Classes[r.Class]; d.Count != 1 {
+		t.Fatalf("class %s divergence count = %d after replays, want 1", r.Class, d.Count)
+	}
+	if m.FastTier.Served != 1 {
+		t.Fatalf("fast_tier.served = %d after replays, want 1", m.FastTier.Served)
 	}
 
 	// The verification ran through the normal exact path: a follow-up

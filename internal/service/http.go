@@ -23,6 +23,9 @@ const maxBodyBytes = 4 << 20
 //	POST /v1/analyze   full pipeline; ?tier=exact|fast|auto selects the
 //	                   serving tier (auto: fast answer now, exact
 //	                   verification async)
+//	POST /v1/batch     many kernels in one request; per-kernel results
+//	                   stream back as NDJSON lines in completion order
+//	                   (?tier= overrides every item's tier)
 //	POST /v1/bound     bounds hierarchy only
 //	POST /v1/check     static verification only (diagnostics, no execution)
 //	POST /v1/ax        A-process / X-process measurement
@@ -42,6 +45,9 @@ func NewHandler(s *Service) http.Handler {
 			}
 			return s.Analyze(ctx, req)
 		})
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		handleBatch(s, w, r)
 	})
 	mux.HandleFunc("POST /v1/bound", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(s, w, r, func(ctx context.Context, req BoundRequest) (BoundResponse, error) {
@@ -106,6 +112,56 @@ func handleJSON[Req, Resp any](s *Service, w http.ResponseWriter, r *http.Reques
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch decodes a batch request and streams per-item results back
+// as NDJSON, flushing after every line so clients see each kernel as it
+// completes. Batch-level failures (malformed body, empty batch, closed
+// service) answer with a normal JSON error status before the stream
+// starts; per-item failures are lines inside the stream.
+func handleBatch(s *Service, w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if tier := r.URL.Query().Get("tier"); tier != "" {
+		for i := range req.Items {
+			req.Items[i].Tier = tier
+		}
+	}
+	// Validate before committing to a 200 stream: once the NDJSON body
+	// starts, the status line is gone.
+	if err := s.checkBatch(req); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	err := s.AnalyzeBatch(ctx, req, func(item BatchItemResult) {
+		enc.Encode(item) //nolint:errcheck // client went away
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	if err != nil {
+		// The stream already carries a 200; all we can do is log-level
+		// surface via a final error line (emit was never called).
+		enc.Encode(BatchItemResult{Index: -1, Error: err.Error()}) //nolint:errcheck // client went away
+	}
 }
 
 // writeServiceError maps service errors onto HTTP status codes:

@@ -349,7 +349,11 @@ func TestHTTPAnalyzeTierQueryParam(t *testing.T) {
 		t.Fatalf("fast response missing prediction: %+v", r)
 	}
 
-	resp = postJSON(t, srv.URL+"/v1/analyze?tier=auto", req)
+	// A different iteration count is a different cache key, so the auto
+	// request runs a fresh prediction and spawns one verification.
+	autoReq := req
+	autoReq.Iterations = 64
+	resp = postJSON(t, srv.URL+"/v1/analyze?tier=auto", autoReq)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("tier=auto status = %d", resp.StatusCode)
 	}
@@ -363,8 +367,8 @@ func TestHTTPAnalyzeTierQueryParam(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := decode[Snapshot](t, mresp)
-	if m.FastTier.Served < 2 || m.FastTier.Verified != 1 {
-		t.Fatalf("fast_tier = %+v, want served >= 2 and verified = 1", m.FastTier)
+	if m.FastTier.Served != 2 || m.FastTier.Verified != 1 {
+		t.Fatalf("fast_tier = %+v, want served = 2 and verified = 1", m.FastTier)
 	}
 
 	resp = postJSON(t, srv.URL+"/v1/analyze?tier=warp", req)

@@ -109,12 +109,16 @@ type Snapshot struct {
 	// FastTier reports the analytical tier: requests served, fallbacks,
 	// and the live predicted-vs-simulated divergence per kernel class.
 	FastTier FastTierStats `json:"fast_tier"`
+	// Persistent reports the disk-backed second-level cache; all-zero
+	// (Enabled false) when the service runs memory-only.
+	Persistent DiskCacheStats `json:"persistent_cache"`
 }
 
 // FastTierStats is the fast_tier section of /metrics.
 type FastTierStats struct {
-	// Served counts requests answered by the fast tier (tier=fast and
-	// the fast half of tier=auto).
+	// Served counts fresh fast-tier computations (tier=fast and the fast
+	// half of tier=auto). Cache hits and singleflight waiters are
+	// excluded, so a kernel replayed N times counts once.
 	Served int64 `json:"served"`
 	// Fallbacks counts auto requests whose timing was data-dependent and
 	// were served by the simulator instead.

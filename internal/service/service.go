@@ -12,6 +12,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
@@ -32,6 +33,12 @@ type Config struct {
 	QueueSize int
 	// CacheSize bounds the result cache, in entries.
 	CacheSize int
+	// CacheDir, when non-empty, adds a persistent second-level cache
+	// behind the in-memory LRU: results are appended to disk segments in
+	// this directory and survive restarts. Entries written under a
+	// different schema version or pipeline configuration self-invalidate
+	// on open.
+	CacheDir string
 	// RequestTimeout bounds one request end to end (queue wait included).
 	RequestTimeout time.Duration
 	// Compiler, VM and Rules configure the pipeline for every request
@@ -77,14 +84,57 @@ func (c Config) withDefaults() Config {
 	if c.Compiler == (macs.CompilerOptions{}) {
 		c.Compiler = d.Compiler
 	}
-	if c.VM.VLMax == 0 {
-		c.VM = d.VM
-	}
+	c.VM = mergeVMDefaults(c.VM, d.VM)
 	if c.Rules == (macs.Rules{}) {
 		c.Rules = d.Rules
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 4}))
+	}
+	return c
+}
+
+// mergeVMDefaults fills only the zero fields of a caller's VM
+// configuration with the defaults. A fully zero config takes the
+// defaults wholesale (including the default-true booleans); a partial
+// config keeps every field the caller set — a custom memory model or
+// timing table is never silently clobbered just because VLMax was left
+// unset. Boolean fields of a partial config are taken as given: false
+// there is a deliberate choice, since Go cannot distinguish "unset" from
+// "disabled".
+func mergeVMDefaults(c, d macs.VMConfig) macs.VMConfig {
+	if c == (macs.VMConfig{}) {
+		return d
+	}
+	if c.VLMax == 0 {
+		c.VLMax = d.VLMax
+	}
+	if c.Rules == (macs.Rules{}) {
+		c.Rules = d.Rules
+	}
+	if c.MemSlowdown == 0 {
+		c.MemSlowdown = d.MemSlowdown
+	}
+	if c.ScalarLoadLat == 0 {
+		c.ScalarLoadLat = d.ScalarLoadLat
+	}
+	if c.ScalarOpLat == 0 {
+		c.ScalarOpLat = d.ScalarOpLat
+	}
+	if c.BranchPenalty == 0 {
+		c.BranchPenalty = d.BranchPenalty
+	}
+	if c.DispatchLat == 0 {
+		c.DispatchLat = d.DispatchLat
+	}
+	if c.MemSize == 0 {
+		c.MemSize = d.MemSize
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = d.MaxCycles
+	}
+	if c.MaxInstrs == 0 {
+		c.MaxInstrs = d.MaxInstrs
 	}
 	return c
 }
@@ -106,6 +156,7 @@ type Service struct {
 	cfg     Config
 	pool    *Pool
 	cache   *Cache
+	disk    *DiskCache // nil when Config.CacheDir is empty or unusable
 	metrics *Metrics
 	log     *slog.Logger
 	// analyzer recycles simulator state (memory image, vector registers,
@@ -119,6 +170,11 @@ type Service struct {
 	// fastTier aggregates fast-tier serving counters and the
 	// predicted-vs-simulated divergence sampled by auto-tier requests.
 	fastTier *fastTierTracker
+	// closeMu guards closed and orders verifyWG.Add against Close's
+	// verifyWG.Wait: a verification is only registered while the service
+	// is accepting work, so Wait can never miss a late Add.
+	closeMu sync.Mutex
+	closed  bool
 	// verifyWG tracks in-flight asynchronous exact verifications spawned
 	// by auto-tier requests, so Close drains them.
 	verifyWG sync.WaitGroup
@@ -133,10 +189,13 @@ type Service struct {
 	attrTotals map[string]int64
 }
 
-// New builds a Service and starts its worker pool.
+// New builds a Service and starts its worker pool. When Config.CacheDir
+// is set, the persistent cache is opened (or created) there; an unusable
+// directory is logged and the service runs memory-only rather than
+// failing to start.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:        cfg,
 		pool:       NewPool(cfg.Workers, cfg.QueueSize),
 		cache:      NewCache(cfg.CacheSize),
@@ -147,6 +206,31 @@ func New(cfg Config) *Service {
 		fastTier:   newFastTierTracker(),
 		attrTotals: make(map[string]int64),
 	}
+	if cfg.CacheDir != "" {
+		fp, err := configFingerprint(cfg)
+		if err == nil {
+			s.disk, err = OpenDiskCache(cfg.CacheDir, fp)
+		}
+		if err != nil {
+			s.log.Warn("persistent cache disabled", "dir", cfg.CacheDir, "err", err)
+		} else {
+			ds := s.disk.Stats()
+			s.log.Info("persistent cache open", "dir", cfg.CacheDir,
+				"entries", ds.Entries, "segments", ds.Segments, "invalidated", ds.Invalidated)
+		}
+	}
+	return s
+}
+
+// configFingerprint hashes everything that determines a cached result's
+// meaning: the persistent-cache schema version and the pipeline
+// configuration. Segments written under a different fingerprint are
+// dropped on open, so stale schemas and stale machine models
+// self-invalidate.
+func configFingerprint(cfg Config) (string, error) {
+	k, err := NewKey("cache-fingerprint", fmt.Sprintf("v%d", diskCacheVersion),
+		cfg.Compiler, cfg.VM, cfg.Rules)
+	return string(k), err
 }
 
 // recordAttr merges one run's lane-summed stall attribution into the
@@ -175,12 +259,35 @@ func (s *Service) stallCycles() map[string]int64 {
 	return out
 }
 
-// Close drains the service: no new work is accepted and every queued and
-// in-flight job runs to completion before Close returns, including the
-// asynchronous exact verifications spawned by auto-tier requests.
+// Close drains the service: the accept gate flips first, so no new
+// request or asynchronous verification can register afterwards, then
+// every already-accepted queued and in-flight job — including the exact
+// verifications spawned by auto-tier requests — runs to completion
+// before Close returns. Requests arriving after Close fail with
+// ErrClosed.
 func (s *Service) Close() {
+	s.closeMu.Lock()
+	s.closed = true
+	s.closeMu.Unlock()
 	s.verifyWG.Wait()
 	s.pool.Close()
+	if s.disk != nil {
+		s.disk.Close()
+	}
+}
+
+// acceptGate rejects work arriving after Close flipped the closed flag.
+// Checking it at every public entry point (rather than relying on the
+// pool's own closed state) keeps shutdown an accept-gate + drain: an
+// in-flight auto-tier request can no longer spawn a verification into a
+// pool that is about to close.
+func (s *Service) acceptGate() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
 }
 
 // Metrics returns the full observability snapshot served on /metrics.
@@ -195,7 +302,15 @@ func (s *Service) Metrics() Snapshot {
 		StallCycles:   s.stallCycles(),
 		SimPool:       s.simPool(),
 		FastTier:      s.fastTier.snapshot(),
+		Persistent:    s.diskStats(),
 	}
+}
+
+func (s *Service) diskStats() DiskCacheStats {
+	if s.disk == nil {
+		return DiskCacheStats{}
+	}
+	return s.disk.Stats()
 }
 
 // PipelineRuns reports how many times the underlying pipeline actually
@@ -207,12 +322,38 @@ func (s *Service) simPool() SimPoolStats {
 	return SimPoolStats{Created: created, Recycled: recycled}
 }
 
-// do is the heart of the service: cache lookup, singleflight attach or
-// lead, pool submission with backpressure, and context-bounded waiting.
-// It returns (value, servedFromCache, error).
-func (s *Service) do(ctx context.Context, key Key, fn func() (any, error)) (any, bool, error) {
+// decodeFunc rehydrates one persisted JSON value into the concrete
+// response type its cache key stores; each endpoint passes its own.
+type decodeFunc func([]byte) (any, error)
+
+// decodeJSON builds the decodeFunc for one response type. The returned
+// value is a *T, matching what the compute closures put in the memory
+// cache, so callers type-assert identically on both paths.
+func decodeJSON[T any]() decodeFunc {
+	return func(b []byte) (any, error) {
+		v := new(T)
+		if err := json.Unmarshal(b, v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+}
+
+// do is the heart of the service: memory-cache lookup, persistent-cache
+// fill, singleflight attach or lead, pool submission with backpressure,
+// and context-bounded waiting. It returns (value, servedFromCache,
+// fresh, error): cached is true when the value came from either cache
+// level, fresh is true only when this call actually executed fn (cache
+// hits and dedup waiters report false) — the fast-tier counters key off
+// it so replayed requests are not double-counted. dec may be nil for
+// results that should not persist.
+func (s *Service) do(ctx context.Context, key Key, dec decodeFunc, fn func() (any, error)) (any, bool, bool, error) {
 	if v, ok := s.cache.Get(key); ok {
-		return v, true, nil
+		return v, true, false, nil
+	}
+	if v, ok := s.diskGet(key, dec); ok {
+		s.cache.Put(key, v)
+		return v, true, false, nil
 	}
 
 	s.mu.Lock()
@@ -221,7 +362,7 @@ func (s *Service) do(ctx context.Context, key Key, fn func() (any, error)) (any,
 		s.mu.Unlock()
 		s.dedupShared.Add(1)
 		v, err := s.wait(ctx, f)
-		return v, false, err
+		return v, false, false, err
 	}
 	// Lead a new flight. Its context is detached from this request so a
 	// single waiter's timeout cannot kill a computation others share; it
@@ -231,11 +372,13 @@ func (s *Service) do(ctx context.Context, key Key, fn func() (any, error)) (any,
 	s.flights[key] = f
 	s.mu.Unlock()
 
+	executed := false
 	err := s.pool.Submit(fctx, func(jctx context.Context) {
 		var v any
 		var jerr error
 		if jerr = jctx.Err(); jerr == nil {
 			s.pipelineRuns.Add(1)
+			executed = true
 			v, jerr = fn()
 		}
 		s.mu.Lock()
@@ -246,6 +389,7 @@ func (s *Service) do(ctx context.Context, key Key, fn func() (any, error)) (any,
 		s.mu.Unlock()
 		if jerr == nil {
 			s.cache.Put(key, v)
+			s.diskPut(key, dec, v)
 		}
 		cancel()
 		close(f.done)
@@ -262,10 +406,50 @@ func (s *Service) do(ctx context.Context, key Key, fn func() (any, error)) (any,
 		s.mu.Unlock()
 		cancel()
 		close(f.done)
-		return nil, false, err
+		return nil, false, false, err
 	}
 	v, err := s.wait(ctx, f)
-	return v, false, err
+	if err != nil {
+		// executed must not be read here: on a waiter timeout the worker
+		// may still be writing it. A successful wait happens-after the
+		// flight's close(done), which orders the write.
+		return nil, false, false, err
+	}
+	return v, false, executed, nil
+}
+
+// diskGet consults the persistent cache and rehydrates a hit through the
+// endpoint's decoder. Undecodable entries (a schema the fingerprint did
+// not catch) are treated as misses.
+func (s *Service) diskGet(key Key, dec decodeFunc) (any, bool) {
+	if s.disk == nil || dec == nil {
+		return nil, false
+	}
+	b, ok := s.disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	v, err := dec(b)
+	if err != nil {
+		s.log.Warn("persistent cache entry undecodable", "key", string(key), "err", err)
+		return nil, false
+	}
+	return v, true
+}
+
+// diskPut persists one fresh result. Write failures degrade to
+// memory-only caching, never to request failures.
+func (s *Service) diskPut(key Key, dec decodeFunc, v any) {
+	if s.disk == nil || dec == nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err == nil {
+		err = s.disk.Put(key, b)
+	}
+	if err != nil {
+		s.log.Warn("persistent cache write failed", "key", string(key), "err", err)
+	}
 }
 
 // wait blocks until the flight completes or ctx expires. A waiter that
@@ -441,6 +625,9 @@ type AnalyzeResponse struct {
 // Analyze runs (or recalls) the pipeline for one kernel source, under
 // the tier the request (or the service default) selects.
 func (s *Service) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, error) {
+	if err := s.acceptGate(); err != nil {
+		return AnalyzeResponse{}, err
+	}
 	name := req.Tier
 	if name == "" {
 		name = s.cfg.DefaultTier
@@ -454,7 +641,8 @@ func (s *Service) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeRespo
 	case macs.TierExact:
 		return s.analyzeExact(ctx, req)
 	case macs.TierFast:
-		return s.analyzeFast(ctx, req, macs.TierFast)
+		resp, _, err := s.analyzeFast(ctx, req, macs.TierFast)
+		return resp, err
 	case macs.TierAuto:
 		return s.analyzeAuto(ctx, req)
 	}
@@ -469,7 +657,7 @@ func (s *Service) analyzeExact(ctx context.Context, req AnalyzeRequest) (Analyze
 		s.observe("analyze", start, false, err)
 		return AnalyzeResponse{}, err
 	}
-	v, cached, err := s.do(ctx, key, func() (any, error) {
+	v, cached, _, err := s.do(ctx, key, decodeJSON[AnalyzeResponse](), func() (any, error) {
 		res, err := s.analyzer.AnalyzeSource(req.Source, req.Iterations, req.Prime.primeFunc())
 		if err != nil {
 			return nil, err
@@ -508,13 +696,16 @@ type BoundResponse struct {
 
 // Bound computes (or recalls) the MA/MAC/MACS hierarchy for a source.
 func (s *Service) Bound(ctx context.Context, req BoundRequest) (BoundResponse, error) {
+	if err := s.acceptGate(); err != nil {
+		return BoundResponse{}, err
+	}
 	start := time.Now()
 	key, err := NewKey("bound", req.Source, s.cfg.Compiler, s.cfg.VM, s.cfg.Rules, int64(0))
 	if err != nil {
 		s.observe("bound", start, false, err)
 		return BoundResponse{}, err
 	}
-	v, cached, err := s.do(ctx, key, func() (any, error) {
+	v, cached, _, err := s.do(ctx, key, decodeJSON[BoundResponse](), func() (any, error) {
 		a, err := macs.BoundSource(req.Source)
 		if err != nil {
 			return nil, err
@@ -551,13 +742,16 @@ type CheckResponse struct {
 // Findings are the result, not an error: a program full of problems still
 // answers 200 with OK=false.
 func (s *Service) Check(ctx context.Context, req CheckRequest) (CheckResponse, error) {
+	if err := s.acceptGate(); err != nil {
+		return CheckResponse{}, err
+	}
 	start := time.Now()
 	key, err := NewKey("check", req.Source, s.cfg.Compiler, s.cfg.VM, s.cfg.Rules, int64(0))
 	if err != nil {
 		s.observe("check", start, false, err)
 		return CheckResponse{}, err
 	}
-	v, cached, err := s.do(ctx, key, func() (any, error) {
+	v, cached, _, err := s.do(ctx, key, decodeJSON[CheckResponse](), func() (any, error) {
 		p, err := macs.Compile(req.Source, s.cfg.Compiler)
 		if err != nil {
 			return nil, err
@@ -603,13 +797,16 @@ type AXResponse struct {
 
 // AX compiles a source and measures its A- and X-process run times.
 func (s *Service) AX(ctx context.Context, req AXRequest) (AXResponse, error) {
+	if err := s.acceptGate(); err != nil {
+		return AXResponse{}, err
+	}
 	start := time.Now()
 	key, err := NewKey("ax", req.Source, s.cfg.Compiler, s.cfg.VM, s.cfg.Rules, int64(0), req.Prime)
 	if err != nil {
 		s.observe("ax", start, false, err)
 		return AXResponse{}, err
 	}
-	v, cached, err := s.do(ctx, key, func() (any, error) {
+	v, cached, _, err := s.do(ctx, key, decodeJSON[AXResponse](), func() (any, error) {
 		p, err := macs.Compile(req.Source, s.cfg.Compiler)
 		if err != nil {
 			return nil, err
@@ -649,13 +846,16 @@ type LFKResponse struct {
 
 // LFK runs (or recalls) the full case-study pipeline for one kernel id.
 func (s *Service) LFK(ctx context.Context, id int) (LFKResponse, error) {
+	if err := s.acceptGate(); err != nil {
+		return LFKResponse{}, err
+	}
 	start := time.Now()
 	key, err := NewKey("lfk", fmt.Sprintf("%d", id), s.cfg.Compiler, s.cfg.VM, s.cfg.Rules, int64(0))
 	if err != nil {
 		s.observe("lfk", start, false, err)
 		return LFKResponse{}, err
 	}
-	v, cached, err := s.do(ctx, key, func() (any, error) {
+	v, cached, _, err := s.do(ctx, key, decodeJSON[LFKResponse](), func() (any, error) {
 		k, err := macs.KernelByID(id)
 		if err != nil {
 			return nil, err

@@ -3,9 +3,12 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
+
+	"macs"
 )
 
 const saxpySrc = `
@@ -176,6 +179,139 @@ func TestCloseDrainsInFlightRequests(t *testing.T) {
 	}
 	if got := s.PipelineRuns(); got != 1 {
 		t.Fatalf("pipeline ran %d times; want 1", got)
+	}
+}
+
+// TestWithDefaultsPartialVMConfig is the regression test for the silent
+// VM-config clobbering bug: a caller's partial VM configuration (custom
+// memory model, VLMax left unset) used to be thrown away wholesale and
+// replaced with the defaults. Only the zero fields may be defaulted.
+func TestWithDefaultsPartialVMConfig(t *testing.T) {
+	cfg := Config{VM: macs.VMConfig{
+		MemSlowdown:   2.5,
+		BankConflicts: true,
+		RefreshStalls: true,
+	}}
+	got := cfg.withDefaults().VM
+	if got.MemSlowdown != 2.5 {
+		t.Fatalf("partial VM config clobbered: MemSlowdown = %v, want 2.5", got.MemSlowdown)
+	}
+	d := macs.DefaultVMConfig()
+	if got.VLMax != d.VLMax {
+		t.Fatalf("unset VLMax not defaulted: %d, want %d", got.VLMax, d.VLMax)
+	}
+	if got.Rules != d.Rules || got.MemSize != d.MemSize || got.MaxCycles != d.MaxCycles ||
+		got.MaxInstrs != d.MaxInstrs || got.ScalarLoadLat != d.ScalarLoadLat {
+		t.Fatalf("unset fields not defaulted: %+v", got)
+	}
+	if !got.BankConflicts || !got.RefreshStalls {
+		t.Fatalf("caller-set booleans lost: %+v", got)
+	}
+
+	// A fully zero VM config still takes the defaults wholesale,
+	// including the default-true booleans.
+	if def := (Config{}).withDefaults().VM; def != d {
+		t.Fatalf("zero VM config = %+v, want defaults %+v", def, d)
+	}
+
+	// The partially-configured service actually works end to end.
+	s := newTestService(t, Config{Workers: 1, QueueSize: 4,
+		VM: macs.VMConfig{MemSlowdown: 2.0, BankConflicts: true, RefreshStalls: true}})
+	r, err := s.Analyze(context.Background(), AnalyzeRequest{Source: saxpySrc, Iterations: 32,
+		Prime: Priming{Ints: map[string]int64{"N": 32}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 {
+		t.Fatalf("implausible result under partial VM config: %+v", r)
+	}
+}
+
+// TestAnalyzeAfterCloseErrClosed: Close is an accept gate — every public
+// entry point refuses new work with ErrClosed afterwards instead of
+// reaching into the drained pool.
+func TestAnalyzeAfterCloseErrClosed(t *testing.T) {
+	s := New(Config{Workers: 1, QueueSize: 4})
+	s.Close()
+	ctx := context.Background()
+	if _, err := s.Analyze(ctx, AnalyzeRequest{Source: saxpySrc}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Analyze after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Bound(ctx, BoundRequest{Source: saxpySrc}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Bound after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Check(ctx, CheckRequest{Source: saxpySrc}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Check after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.AX(ctx, AXRequest{Source: saxpySrc}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AX after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.LFK(ctx, 12); !errors.Is(err, ErrClosed) {
+		t.Fatalf("LFK after Close = %v, want ErrClosed", err)
+	}
+	err := s.AnalyzeBatch(ctx, BatchRequest{Items: []AnalyzeRequest{{Source: saxpySrc}}}, func(BatchItemResult) {})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("AnalyzeBatch after Close = %v, want ErrClosed", err)
+	}
+}
+
+// saxpyVariant builds a distinct-but-valid kernel source per dim, so a
+// stress test can force fresh computations (distinct cache keys) at will.
+func saxpyVariant(dim int) string {
+	return fmt.Sprintf(`
+PROGRAM SAXPY
+REAL X(%d), Y(%d), A
+INTEGER N, K
+DO K = 1, N
+  Y(K) = Y(K) + A*X(K)
+ENDDO
+END
+`, dim, dim)
+}
+
+// TestCloseRacesAutoTierRequests is the regression test for the
+// Service.Close shutdown race: verifyWG.Wait used to run with nothing
+// stopping an in-flight auto-tier request from calling verifyWG.Add
+// after Wait returned, leaking a verification into a closed pool (and
+// racing the WaitGroup). With the accept gate the interleaving is safe:
+// run under -race.
+func TestCloseRacesAutoTierRequests(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		s := New(Config{Workers: 4, QueueSize: 64})
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 50; j++ {
+					// Distinct sources force fresh fast computations, so
+					// every successful request tries to spawn a verification.
+					req := AnalyzeRequest{
+						Source: saxpyVariant(64 + round*1000 + g*100 + j),
+						Tier:   "auto",
+						Prime:  Priming{Ints: map[string]int64{"N": 8}},
+					}
+					_, err := s.Analyze(ctx, req)
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					if err != nil && !errors.Is(err, ErrQueueFull) {
+						t.Errorf("auto analyze: %v", err)
+						return
+					}
+				}
+			}(g)
+		}
+		close(start)
+		time.Sleep(time.Duration(1+round) * 5 * time.Millisecond)
+		s.Close()
+		wg.Wait()
+		if _, err := s.Analyze(ctx, AnalyzeRequest{Source: saxpySrc}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("round %d: Analyze after Close = %v, want ErrClosed", round, err)
+		}
 	}
 }
 

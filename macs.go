@@ -24,9 +24,11 @@
 //	a, err := macs.BoundSource(src)
 //
 // The same pipeline is also available as a long-running HTTP service:
-// cmd/macsd serves POST /v1/analyze, /v1/bound, /v1/ax and GET /v1/lfk/{id}
+// cmd/macsd serves POST /v1/analyze, /v1/batch (many kernels per request,
+// per-kernel NDJSON streaming), /v1/bound, /v1/ax and GET /v1/lfk/{id}
 // through internal/service, with a worker pool, a content-addressed result
-// cache and JSON metrics on /metrics (see the README's "macsd" section).
+// cache (optionally persisted across restarts via -cache-dir) and JSON
+// metrics on /metrics (see the README's "macsd" section).
 //
 // The subsystems are exposed through type aliases so the whole machinery
 // remains one import for downstream users; power users can reach the
