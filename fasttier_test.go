@@ -6,6 +6,7 @@
 package macs_test
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -192,5 +193,73 @@ func TestBoundsMonotonicRandom(t *testing.T) {
 			t.Fatalf("trial %d: %v\n%s", trial, err, src)
 		}
 		checkHierarchy(t, fmt.Sprintf("trial %d", trial), res.Analysis, res.MeasuredCPL, 1)
+	}
+}
+
+// TestFastTierInterval: a kernel with a bounded data-dependent branch
+// (a float compare whose two outcomes reconverge) is refused by the
+// single-path replay but served by the path enumerator, and the
+// enumerated [CyclesLo, CyclesHi] envelope contains the simulator's
+// measurement. Second call pins memoization.
+func TestFastTierInterval(t *testing.T) {
+	const src = `
+PROGRAM DATADEP
+REAL X(128), S
+INTEGER N, K
+DO K = 1, N
+  X(K) = X(K) + S
+ENDDO
+IF (S .LT. 1.0) GOTO 10
+10 CONTINUE
+END
+`
+	an := macs.NewAnalyzer(macs.DefaultVMConfig())
+	ints := map[string]int64{"d_N": 16}
+	if _, err := an.PredictSource(src, 16, ints); !errors.Is(err, macs.ErrDataDependent) {
+		t.Fatalf("single-path replay error = %v, want ErrDataDependent", err)
+	}
+	fast, err := an.PredictSourceInterval(src, 16, ints)
+	if err != nil {
+		t.Fatalf("interval predict: %v", err)
+	}
+	p := fast.Prediction
+	if !p.Interval {
+		t.Fatalf("prediction not marked interval: %+v", p)
+	}
+	if p.Paths < 2 {
+		t.Errorf("paths = %d, want >= 2 (one per branch outcome)", p.Paths)
+	}
+	if p.CyclesLo <= 0 || p.CyclesLo > p.CyclesHi || p.Cycles != p.CyclesHi {
+		t.Fatalf("implausible envelope: lo=%d hi=%d point=%d", p.CyclesLo, p.CyclesHi, p.Cycles)
+	}
+	if p.CPLLo <= 0 || p.CPLLo > p.CPLHi {
+		t.Fatalf("implausible CPL envelope: [%g, %g]", p.CPLLo, p.CPLHi)
+	}
+	if !strings.Contains(fast.Report(), "interval t_p") {
+		t.Errorf("report does not state the interval:\n%s", fast.Report())
+	}
+
+	res, err := an.AnalyzeSource(src, 16, func(c *macs.CPU) error {
+		base, ok := c.Memory().SymbolAddr("d_N")
+		if !ok {
+			return fmt.Errorf("no symbol d_N")
+		}
+		return c.Memory().WriteI64(base, 16)
+	})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if res.Stats.Cycles < p.CyclesLo || res.Stats.Cycles > p.CyclesHi {
+		t.Errorf("simulated %d cycles outside enumerated [%d, %d]",
+			res.Stats.Cycles, p.CyclesLo, p.CyclesHi)
+	}
+
+	again, err := an.PredictSourceInterval(src, 16, ints)
+	if err != nil {
+		t.Fatalf("second interval predict: %v", err)
+	}
+	if q := again.Prediction; q.CyclesLo != p.CyclesLo || q.CyclesHi != p.CyclesHi || q.Paths != p.Paths {
+		t.Errorf("memoized interval diverges: first [%d,%d]/%d, second [%d,%d]/%d",
+			p.CyclesLo, p.CyclesHi, p.Paths, q.CyclesLo, q.CyclesHi, q.Paths)
 	}
 }

@@ -47,6 +47,10 @@ const (
 	// CauseDecomposition: the MACS-D bound exceeds MACS — nonunit
 	// strides collide in the memory banks.
 	CauseDecomposition Cause = "data-decomposition"
+	// CauseDependenceLimited: t_CP > t_MACS — the dependence critical
+	// path through the loop body (internal/depgraph) charges more time
+	// than any resource, so bandwidth and pipes are not the limiter.
+	CauseDependenceLimited Cause = "dependence-limited"
 )
 
 // Finding is one diagnosed cause with its magnitude.
@@ -169,6 +173,16 @@ func Diagnose(in Inputs) Diagnosis {
 		add(CauseDecomposition, (in.TMACSD-a.MACS.CPL)/in.TP,
 			fmt.Sprintf("t_MACSD %.2f exceeds t_MACS %.2f: nonunit strides collide in the memory banks", in.TMACSD, a.MACS.CPL),
 			"application: pad leading dimensions to odd sizes")
+	}
+
+	// Dependence critical path (depgraph extension): when the latency
+	// chain through the loop body bounds tighter than the resource
+	// model, more bandwidth or pipes will not help — the recurrence
+	// itself must be shortened.
+	if a.TCP > 1.10*a.MACS.CPL {
+		add(CauseDependenceLimited, (a.TCP-a.MACS.CPL)/in.TP,
+			fmt.Sprintf("t_CP %.2f exceeds t_MACS %.2f: the dependence critical path, not a resource, limits the loop", a.TCP, a.MACS.CPL),
+			"compiler: reassociate the recurrence and chain producers to consumers; application: break the loop-carried dependence")
 	}
 
 	// Resource balance from the A/X decomposition — which process

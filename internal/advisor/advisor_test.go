@@ -257,3 +257,39 @@ func TestDiagnosisWithMeasuredAttribution(t *testing.T) {
 		}
 	}
 }
+
+func TestDependenceLimitedFinding(t *testing.T) {
+	// A loop whose dependence critical path (t_CP, from internal/depgraph)
+	// charges more time than the resource bound is latency-limited: the
+	// finding must surface and recommend attacking the recurrence.
+	p := asm.MustParse(`
+.data a 262144
+	mov #8,vs
+	ld.l a(a0),v0
+	mul.d v0,v1,v2
+`)
+	a := core.Analyze(core.Workload{FA: 0, FM: 1, Loads: 1}, p.Instrs, 128, core.DefaultRules())
+	a.TCP = a.MACS.CPL * 2.0
+	d := Diagnose(Inputs{Analysis: a, TP: a.TCP * 1.05, TA: 1.0, TX: 1.0})
+	if !d.Has(CauseDependenceLimited) {
+		t.Fatalf("t_CP twice t_MACS should report dependence-limited:\n%s", d)
+	}
+	for _, f := range d.Findings {
+		if f.Cause != CauseDependenceLimited {
+			continue
+		}
+		if !strings.Contains(f.Detail, "critical path") {
+			t.Errorf("detail does not name the critical path: %s", f.Detail)
+		}
+		if !strings.Contains(f.Suggestion, "reassociate") {
+			t.Errorf("suggestion does not recommend reassociation: %s", f.Suggestion)
+		}
+	}
+
+	// With t_CP below the resource bound the finding must stay silent.
+	a.TCP = a.MACS.CPL * 0.5
+	d = Diagnose(Inputs{Analysis: a, TP: a.MACS.CPL * 1.05, TA: 1.0, TX: 1.0})
+	if d.Has(CauseDependenceLimited) {
+		t.Errorf("t_CP below t_MACS reported dependence-limited:\n%s", d)
+	}
+}

@@ -137,6 +137,11 @@ type Analysis struct {
 	// reduced-list bounds with memory / floating point operations deleted.
 	MACS, MACSF, MACSM MACSResult
 	VL                 int
+	// TCP is the dependence critical-path lower bound in CPL, computed by
+	// internal/depgraph and filled in by the facade (core itself never
+	// sees the whole program). Zero when no per-element dependence claim
+	// could be made (no vector loop, or a non-straight-line body).
+	TCP float64
 }
 
 // Analyze computes the full MA/MAC/MACS hierarchy for a kernel given its

@@ -14,6 +14,7 @@ import (
 	"macs/internal/calib"
 	"macs/internal/compiler"
 	"macs/internal/core"
+	"macs/internal/depgraph"
 	"macs/internal/lfk"
 	"macs/internal/mem"
 	"macs/internal/par"
@@ -93,6 +94,9 @@ func RunKernel(k *lfk.Kernel, cfg Config) (KernelResult, error) {
 		return res, fmt.Errorf("experiments: lfk%d has no vector loop", k.ID)
 	}
 	res.Analysis = core.Analyze(k.Paper.MA, loop.Body, cfg.VM.VLMax, cfg.VM.Rules)
+	if cp, _, ok := depgraph.Analyze(c.Program, cfg.VM.VLMax, depgraph.DefaultParams()); ok {
+		res.Analysis.TCP = cp.CPL
+	}
 	st, cpu, err := c.Run(cfg.VM)
 	if err != nil {
 		return res, err
@@ -297,10 +301,12 @@ func table5From(results []KernelResult) []Table5Row {
 }
 
 // Hierarchy is the Figure 1 view for one kernel: every level of the
-// bounds-and-measurements hierarchy in CPL.
+// bounds-and-measurements hierarchy in CPL, plus the dependence
+// critical-path bound t_CP (zero when no per-element claim holds).
 type Hierarchy struct {
 	ID               int
 	TMA, TMAC, TMACS float64
+	TCP              float64
 	TMACSf, TMACSm   float64
 	TX, TA, TP       float64
 }
@@ -319,6 +325,7 @@ func Figure1(cfg Config) ([]Hierarchy, error) {
 			TMA:    r.Analysis.TMA,
 			TMAC:   r.Analysis.TMAC,
 			TMACS:  r.Analysis.MACS.CPL,
+			TCP:    r.Analysis.TCP,
 			TMACSf: r.Analysis.MACSF.CPL,
 			TMACSm: r.Analysis.MACSM.CPL,
 			TX:     k.CPL(r.AX.TX),

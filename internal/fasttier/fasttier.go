@@ -254,6 +254,23 @@ type Prediction struct {
 	// Attr is the predicted per-lane stall attribution; it is conserved
 	// against Cycles by construction.
 	Attr Ledger
+
+	// Interval reports that this prediction came from bounded enumeration
+	// of data-dependent branch outcomes rather than a single bit-exact
+	// replay. CyclesLo/CyclesHi bound the run length over every admitted
+	// outcome vector; because each enumerated path is itself bit-exact and
+	// the real execution follows one of them, the simulator's measurement
+	// is guaranteed to land inside [CyclesLo, CyclesHi]. CPLLo/CPLHi are
+	// the per-iteration forms of those raw bounds — deliberately left
+	// uncalibrated so the containment guarantee survives. Paths counts the
+	// complete paths enumerated; the point fields (Cycles, CPL, Attr, ...)
+	// describe the worst-case path.
+	Interval bool
+	Paths    int
+	CyclesLo int64
+	CyclesHi int64
+	CPLLo    float64
+	CPLHi    float64
 }
 
 // Signature returns a stable identity for a compiled program: an FNV-64a
@@ -313,6 +330,7 @@ type memoKey struct {
 	prog       *asm.Program
 	iterations int64
 	ints       string // canonical fingerprint of the primed integers
+	interval   bool   // interval (path-enumerated) predictions keyed apart
 }
 
 // memoCap bounds the prediction memo; on overflow the memo is dropped

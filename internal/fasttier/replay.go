@@ -1,6 +1,7 @@
 package fasttier
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -76,10 +77,24 @@ type replay struct {
 	bankCfg  mem.Config
 	stallTab *mem.StallTable
 
+	// Interval (path-enumeration) mode. When forking is true, a branch on
+	// an unmodeled comparison consumes the next scripted outcome from
+	// decisions instead of failing with ErrDataDependent; when the script
+	// is exhausted the replay stops with errNeedDecision so the
+	// enumerator can extend the script both ways and try again.
+	forking     bool
+	decisions   []bool
+	decisionIdx int
+
 	halted   bool
 	finished bool
 	pred     Prediction
 }
+
+// errNeedDecision reports that a forking replay reached a branch on an
+// unmodeled comparison with no scripted outcome left. It never escapes
+// the package: predictInterval catches it and deepens the script.
+var errNeedDecision = errors.New("fasttier: undecided data-dependent branch")
 
 func newReplay(cfg Config) *replay {
 	r := &replay{
@@ -137,6 +152,10 @@ func (r *replay) reset() {
 	r.maxEvent = 0
 	r.laneTime = [NumLanes]int64{}
 
+	r.forking = false
+	r.decisions = nil
+	r.decisionIdx = 0
+
 	r.halted = false
 	r.finished = false
 	r.pred = Prediction{}
@@ -144,7 +163,15 @@ func (r *replay) reset() {
 
 // predict replays one program. See Predictor.Predict for the contract.
 func (r *replay) predict(prog *asm.Program, iterations int64, ints map[string]int64) (Prediction, error) {
+	return r.run(prog, iterations, ints, nil, false)
+}
+
+// run replays one program, optionally under a branch-decision script
+// (forking mode). See predict and predictInterval.
+func (r *replay) run(prog *asm.Program, iterations int64, ints map[string]int64, decisions []bool, forking bool) (Prediction, error) {
 	r.reset()
+	r.forking = forking
+	r.decisions = decisions
 	if err := prog.Validate(); err != nil {
 		return Prediction{}, err
 	}
@@ -423,7 +450,16 @@ func (r *replay) execScalar(in isa.Instr) (jumped bool, err error) {
 	case isa.OpJbrs:
 		r.tickASU(int64(r.cfg.ScalarOpLat))
 		if !r.tfKnown {
-			return false, fmt.Errorf("branch on unmodeled comparison: %w", ErrDataDependent)
+			if !r.forking {
+				return false, fmt.Errorf("branch on unmodeled comparison: %w", ErrDataDependent)
+			}
+			if r.decisionIdx >= len(r.decisions) {
+				return false, errNeedDecision
+			}
+			// Adopt the scripted outcome as the T value so later branches
+			// on the same (unrewritten) flag stay path-consistent.
+			r.tf, r.tfKnown = r.decisions[r.decisionIdx], true
+			r.decisionIdx++
 		}
 		take := r.tf
 		if in.Suffix == isa.SufF {

@@ -20,6 +20,11 @@
 //     stallNames) — the import graph keeps the packages apart, so the
 //     correspondence is enforced here — and macs.tierNames names every
 //     declared Tier.
+//   - depgraph: internal/depgraph's EdgeKind enum keeps its
+//     macsvet:exhaustive marker and the critical-path solver's
+//     edgeWeight function contains a switch naming every member, so an
+//     edge kind cannot be added without deciding its timing
+//     contribution to t_CP.
 //   - nopanic: no naked panic() in non-test code of any package
 //     reachable from internal/service's import graph — a panic there is
 //     a crashed request at best and a dead daemon at worst. Functions
@@ -185,6 +190,7 @@ func Run(root string) ([]Finding, error) {
 	fs = append(fs, checkExhaustive(m)...)
 	fs = append(fs, checkISATiming(m)...)
 	fs = append(fs, checkTierMap(m)...)
+	fs = append(fs, checkDepGraph(m)...)
 	fs = append(fs, checkPanics(m)...)
 	fs = append(fs, checkMustCalls(m)...)
 	sort.Slice(fs, func(i, j int) bool {

@@ -67,3 +67,80 @@ func TestIsMustName(t *testing.T) {
 		}
 	}
 }
+
+// TestTierMapMissingMember pins the tiermap rule's missing-member mode:
+// a fast tier that declares fewer Cause members than vm declares
+// StallCauses breaks the bijection, and both the member count and the
+// name-table length surface with real source positions.
+func TestTierMapMissingMember(t *testing.T) {
+	fs, err := Run(filepath.Join("testdata", "src", "tiermiss"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		file, rule, msg string
+	}{
+		{"internal/fasttier/cause.go", "tiermap", "fasttier declares 2 Cause members, vm declares 3"},
+		{"internal/fasttier/cause.go", "tiermap", "causeNames has 2 entries, stallNames has 3"},
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(fs), len(want), fs)
+	}
+	for i, w := range want {
+		f := fs[i]
+		if !strings.HasSuffix(filepath.ToSlash(f.Pos.Filename), w.file) {
+			t.Errorf("finding %d in %s, want %s", i, f.Pos.Filename, w.file)
+		}
+		if f.Rule != w.rule || !strings.Contains(f.Message, w.msg) {
+			t.Errorf("finding %d = %s: %s, want %s containing %q", i, f.Rule, f.Message, w.rule, w.msg)
+		}
+	}
+}
+
+// TestDepGraphRule pins the depgraph rule: a CP solver whose edgeWeight
+// switch skips an edge kind, under an enum that lost its exhaustiveness
+// marker, produces both findings.
+func TestDepGraphRule(t *testing.T) {
+	fs, err := Run(filepath.Join("testdata", "src", "depbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		file, rule, msg string
+	}{
+		{"internal/depgraph/graph.go", "depgraph", "lost its macsvet:exhaustive marker"},
+		{"internal/depgraph/graph.go", "depgraph", "edgeWeight does not handle edge kind(s) EdgeOutput"},
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(fs), len(want), fs)
+	}
+	for i, w := range want {
+		f := fs[i]
+		if !strings.HasSuffix(filepath.ToSlash(f.Pos.Filename), w.file) {
+			t.Errorf("finding %d in %s, want %s", i, f.Pos.Filename, w.file)
+		}
+		if f.Rule != w.rule || !strings.Contains(f.Message, w.msg) {
+			t.Errorf("finding %d = %s: %s, want %s containing %q", i, f.Rule, f.Message, w.rule, w.msg)
+		}
+	}
+}
+
+// TestFindingsCarryPositions: every finding from every fixture anchors
+// to a real file:line — the CLI prints file:line:col: rule: message, and
+// token.NoPos would render as "-", breaking that contract.
+func TestFindingsCarryPositions(t *testing.T) {
+	for _, fixture := range []string{"fixture", "tiermiss", "depbad"} {
+		fs, err := Run(filepath.Join("testdata", "src", fixture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range fs {
+			if f.Pos.Filename == "" || f.Pos.Line <= 0 {
+				t.Errorf("%s: finding without a source position: %s", fixture, f)
+			}
+			if !strings.Contains(f.String(), ".go:") {
+				t.Errorf("%s: finding does not render file:line: %q", fixture, f.String())
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module depbad
+
+go 1.22

@@ -1,0 +1,27 @@
+// Package depgraph exercises the depgraph rule: the EdgeKind enum has
+// lost its exhaustiveness marker and the CP solver's edgeWeight switch
+// deliberately skips EdgeOutput.
+package depgraph
+
+// EdgeKind classifies a dependence edge. (The marker is deliberately
+// absent here.)
+type EdgeKind int
+
+// Kinds.
+const (
+	EdgeTrue EdgeKind = iota
+	EdgeAnti
+	EdgeOutput
+	NumEdgeKinds
+)
+
+// edgeWeight misses EdgeOutput: a new kind defaulting to zero latency.
+func edgeWeight(k EdgeKind) int {
+	switch k {
+	case EdgeTrue:
+		return 4
+	case EdgeAnti:
+		return 0
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module tiermiss
+
+go 1.22

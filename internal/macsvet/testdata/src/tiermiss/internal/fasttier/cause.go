@@ -1,0 +1,15 @@
+// Package fasttier exercises the tiermap rule's missing-member mode:
+// the fast tier declares one fewer Cause than vm declares StallCauses.
+package fasttier
+
+// Cause is the fast tier's stall taxonomy.
+type Cause int
+
+// Causes; StallChain's counterpart is missing entirely.
+const (
+	CauseStartup Cause = iota
+	CauseBubble
+	NumCauses
+)
+
+var causeNames = [NumCauses]string{"startup", "bubble"}

@@ -1,0 +1,15 @@
+// Package vm is the simulator side of the missing-member fixture.
+package vm
+
+// StallCause is the simulator's stall taxonomy.
+type StallCause int
+
+// Stalls.
+const (
+	StallStartup StallCause = iota
+	StallBubble
+	StallChain
+	NumStallCauses
+)
+
+var stallNames = [NumStallCauses]string{"startup", "bubble", "chain-wait"}

@@ -32,7 +32,7 @@ func checkTierMap(m *Module) []Finding {
 	causes, causePos := typedConsts(ft, "Cause")
 	stalls, stallPos := typedConsts(vm, "StallCause")
 	if len(causes) != len(stalls) {
-		pos := token.NoPos
+		pos := pkgPos(ft)
 		if len(causePos) > 0 {
 			pos = causePos[0]
 		}
@@ -54,10 +54,10 @@ func checkTierMap(m *Module) []Finding {
 	stallNames, _ := stringTable(vm, "stallNames")
 	switch {
 	case causeNames == nil:
-		fs = append(fs, Finding{Pos: m.Fset.Position(token.NoPos), Rule: "tiermap",
+		fs = append(fs, Finding{Pos: m.Fset.Position(pkgPos(ft)), Rule: "tiermap",
 			Message: "internal/fasttier: causeNames not found as a composite-literal var"})
 	case stallNames == nil:
-		fs = append(fs, Finding{Pos: m.Fset.Position(token.NoPos), Rule: "tiermap",
+		fs = append(fs, Finding{Pos: m.Fset.Position(pkgPos(vm)), Rule: "tiermap",
 			Message: "internal/vm: stallNames not found as a composite-literal var"})
 	case len(causeNames) != len(stallNames):
 		fs = append(fs, Finding{Pos: m.Fset.Position(cnPos), Rule: "tiermap",

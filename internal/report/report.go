@@ -148,14 +148,18 @@ func Table5(rows []experiments.Table5Row) string {
 func Figure1(hs []experiments.Hierarchy) string {
 	out := make([][]string, 0, len(hs))
 	for _, h := range hs {
+		tcp := "-"
+		if h.TCP > 0 {
+			tcp = f2(h.TCP)
+		}
 		out = append(out, []string{
 			fmt.Sprintf("%d", h.ID),
-			f2(h.TMA), f2(h.TMAC), f2(h.TMACS),
+			f2(h.TMA), f2(h.TMAC), f2(h.TMACS), tcp,
 			f2(h.TMACSf), f2(h.TX), f2(h.TMACSm), f2(h.TA), f2(h.TP),
 		})
 	}
 	return Render("Figure 1: Hierarchy of Performance Models and Measurements (CPL)",
-		[]string{"LFK", "t_MA", "t_MAC", "t_MACS", "t_MACS^f", "t_x", "t_MACS^m", "t_a", "t_p"}, out)
+		[]string{"LFK", "t_MA", "t_MAC", "t_MACS", "t_CP", "t_MACS^f", "t_x", "t_MACS^m", "t_a", "t_p"}, out)
 }
 
 // Figure2 renders the chaining walkthrough timeline.

@@ -115,19 +115,31 @@ func (s *Service) analyzeFast(ctx context.Context, req AnalyzeRequest, tier macs
 	}
 	v, cached, fresh, err := s.do(ctx, key, decodeJSON[AnalyzeResponse](), func() (any, error) {
 		res, err := s.analyzer.PredictSource(req.Source, req.Iterations, req.Prime.fastInts())
+		if err != nil && errors.Is(err, macs.ErrDataDependent) {
+			// The single-path replay refused: try the path enumerator,
+			// which serves a static [lo, hi] envelope when the
+			// data-dependent control flow is boundedly enumerable.
+			res, err = s.analyzer.PredictSourceInterval(req.Source, req.Iterations, req.Prime.fastInts())
+		}
 		if err != nil {
 			return nil, err
 		}
 		p := res.Prediction
 		return &AnalyzeResponse{
-			Bounds:       boundsView(res.Analysis),
-			PredictedCPL: p.CPL,
-			ErrorBand:    p.ErrorBand,
-			Class:        p.Class,
-			Cycles:       p.Cycles,
-			Iterations:   res.Iterations,
-			Report:       res.Report(),
-			Attribution:  p.Attr.Totals(),
+			Bounds:         boundsView(res.Analysis),
+			PredictedCPL:   p.CPL,
+			ErrorBand:      p.ErrorBand,
+			Class:          p.Class,
+			Interval:       p.Interval,
+			Paths:          p.Paths,
+			PredictedCPLLo: p.CPLLo,
+			PredictedCPLHi: p.CPLHi,
+			CyclesLo:       p.CyclesLo,
+			CyclesHi:       p.CyclesHi,
+			Cycles:         p.Cycles,
+			Iterations:     res.Iterations,
+			Report:         res.Report(),
+			Attribution:    p.Attr.Totals(),
 		}, nil
 	})
 	s.observe("analyze-fast", start, cached, err)
@@ -195,6 +207,19 @@ func (s *Service) verifyAsync(req AnalyzeRequest, fast AnalyzeResponse) {
 		}
 		rel := math.Abs(float64(fast.Cycles-exact.Cycles)) / float64(exact.Cycles)
 		s.fastTier.recordDivergence(fast.Class, rel)
+		if fast.Interval {
+			// Interval answers promise containment, not a point band: the
+			// simulated measurement must land inside [CyclesLo, CyclesHi].
+			if exact.Cycles < fast.CyclesLo || exact.Cycles > fast.CyclesHi {
+				s.log.Warn("fast-tier interval does not contain the simulated measurement",
+					"class", fast.Class,
+					"cycles_lo", fast.CyclesLo,
+					"cycles_hi", fast.CyclesHi,
+					"simulated_cycles", exact.Cycles,
+				)
+			}
+			return
+		}
 		if fast.ErrorBand > 0 && rel > fast.ErrorBand {
 			s.log.Warn("fast-tier prediction outside its error band",
 				"class", fast.Class,

@@ -5,9 +5,10 @@ import (
 	"testing"
 )
 
-// dataDepSrc branches on a floating-point comparison, which the fast
-// tier cannot resolve: predicting it must fail with ErrDataDependent
-// and an auto request must fall back to the simulator.
+// dataDepSrc branches on a floating-point comparison the single-path
+// replay cannot resolve — but both branch outcomes converge, so the
+// interval enumerator serves it with a two-path [lo, hi] envelope
+// instead of refusing.
 const dataDepSrc = `
 PROGRAM DATADEP
 REAL X(128), S
@@ -17,6 +18,23 @@ DO K = 1, N
 ENDDO
 IF (S .LT. 1.0) GOTO 10
 10 CONTINUE
+END
+`
+
+// unboundedSrc re-decides a floating-point comparison on every trip of a
+// backward branch: its data-dependent control flow is not boundedly
+// enumerable, so even the interval enumerator refuses and an auto
+// request must fall back to the simulator.
+const unboundedSrc = `
+PROGRAM UNBND
+REAL X(128), S
+INTEGER N, K
+DO K = 1, N
+  X(K) = X(K) + S
+ENDDO
+100 CONTINUE
+S = S + 1.0
+IF (S .LT. X(1)) GOTO 100
 END
 `
 
@@ -150,13 +168,57 @@ func TestAnalyzeAutoTier(t *testing.T) {
 	}
 }
 
-// TestAnalyzeAutoFallback: a data-dependent program cannot be served by
-// the fast tier; auto falls back to the simulator inline and counts the
-// fallback on /metrics.
+// TestAnalyzeFastInterval: a program the single-path replay refuses as
+// data-dependent is now served by the interval enumerator with a static
+// [lo, hi] bound — and that bound contains the simulator's measurement.
+func TestAnalyzeFastInterval(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueSize: 8})
+	req := AnalyzeRequest{
+		Source:     dataDepSrc,
+		Iterations: 16,
+		Prime:      Priming{Ints: map[string]int64{"N": 16}},
+		Tier:       "fast",
+	}
+	r, err := s.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatalf("interval-servable program refused: %v", err)
+	}
+	if !r.Interval {
+		t.Fatalf("response not marked interval: %+v", r)
+	}
+	if r.Paths < 2 {
+		t.Fatalf("paths = %d, want >= 2 (one per branch outcome)", r.Paths)
+	}
+	if r.CyclesLo <= 0 || r.CyclesLo > r.CyclesHi || r.Cycles != r.CyclesHi {
+		t.Fatalf("implausible interval: lo=%d hi=%d point=%d", r.CyclesLo, r.CyclesHi, r.Cycles)
+	}
+	if r.PredictedCPLLo <= 0 || r.PredictedCPLLo > r.PredictedCPLHi {
+		t.Fatalf("implausible CPL interval: [%g, %g]", r.PredictedCPLLo, r.PredictedCPLHi)
+	}
+
+	// Containment: the simulated measurement lands inside the bound.
+	req.Tier = "exact"
+	exact, err := s.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Cycles < r.CyclesLo || exact.Cycles > r.CyclesHi {
+		t.Fatalf("simulated %d cycles outside interval [%d, %d]",
+			exact.Cycles, r.CyclesLo, r.CyclesHi)
+	}
+	if m := s.Metrics(); m.FastTier.Fallbacks != 0 {
+		t.Fatalf("interval serving counted %d fallbacks, want 0", m.FastTier.Fallbacks)
+	}
+}
+
+// TestAnalyzeAutoFallback: a program whose data-dependent control flow
+// is not boundedly enumerable cannot be served by the fast tier at all;
+// auto falls back to the simulator inline and counts the fallback on
+// /metrics.
 func TestAnalyzeAutoFallback(t *testing.T) {
 	s := newTestService(t, Config{Workers: 2, QueueSize: 8})
 	req := AnalyzeRequest{
-		Source: dataDepSrc,
+		Source: unboundedSrc,
 		Prime:  Priming{Ints: map[string]int64{"N": 16}},
 		Tier:   "auto",
 	}

@@ -575,6 +575,9 @@ type BoundsView struct {
 	TMACS  float64 `json:"t_macs"`
 	TMACSF float64 `json:"t_macs_f"`
 	TMACSM float64 `json:"t_macs_m"`
+	// TCP is the dependence critical-path lower bound (0 when the
+	// analyzer made no per-element claim).
+	TCP    float64 `json:"t_cp"`
 	Chimes int     `json:"chimes"`
 	VL     int     `json:"vl"`
 }
@@ -586,6 +589,7 @@ func boundsView(a macs.Analysis) BoundsView {
 		TMACS:  a.MACS.CPL,
 		TMACSF: a.MACSF.CPL,
 		TMACSM: a.MACSM.CPL,
+		TCP:    a.TCP,
 		Chimes: len(a.MACS.Chimes),
 		VL:     a.VL,
 	}
@@ -607,8 +611,19 @@ type AnalyzeResponse struct {
 	PredictedCPL float64 `json:"predicted_cpl,omitempty"`
 	ErrorBand    float64 `json:"error_band,omitempty"`
 	Class        string  `json:"class,omitempty"`
-	Cycles       int64   `json:"cycles"`
-	Iterations   int64   `json:"iterations"`
+	// Interval marks a fast-tier answer obtained by enumerating the
+	// program's data-dependent branch outcomes: PredictedCPLLo/Hi (raw,
+	// uncalibrated) and CyclesLo/Hi bound every admitted execution, and
+	// the simulated measurement is guaranteed to land inside. Paths counts
+	// the enumerated executions. Point fields describe the worst case.
+	Interval       bool    `json:"interval,omitempty"`
+	Paths          int     `json:"paths,omitempty"`
+	PredictedCPLLo float64 `json:"predicted_cpl_lo,omitempty"`
+	PredictedCPLHi float64 `json:"predicted_cpl_hi,omitempty"`
+	CyclesLo       int64   `json:"cycles_lo,omitempty"`
+	CyclesHi       int64   `json:"cycles_hi,omitempty"`
+	Cycles         int64   `json:"cycles"`
+	Iterations     int64   `json:"iterations"`
 	// Stats carries the full simulator statistics; fast-tier responses,
 	// which run no simulator, omit it.
 	Stats  *macs.Stats `json:"stats,omitempty"`

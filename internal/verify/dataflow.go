@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"macs/internal/asm"
+	"macs/internal/depgraph"
 	"macs/internal/isa"
 )
 
@@ -19,14 +20,16 @@ import (
 // VL×VS span with VL clamped to the hardware maximum like the machine
 // does) and the bank-conflict stride warning.
 
-// Register slots: a0-7, s0-7, v0-7, vl, vs.
+// Register slots: a0-7, s0-7, v0-7, vl, vs, and the scalar comparison
+// flag T (written by compares, read by jbrs).
 const (
 	slotA   = 0
 	slotS   = 8
 	slotV   = 16
 	slotVL  = 24
 	slotVS  = 25
-	numSlot = 26
+	slotT   = 26
+	numSlot = 27
 )
 
 func regSlot(r isa.Reg) int {
@@ -146,6 +149,35 @@ func buildCFG(p *asm.Program) (blocks []block, entry int) {
 	return blocks, startOf[entryPC]
 }
 
+// feasibleSuccs filters a block's successors through the folded T flag:
+// a conditional branch whose condition is a propagated constant only
+// reaches the branch side the machine would actually take, so registers
+// assigned on the taken side are not reported as use-before-def via the
+// impossible side. Blocks only reachable through pruned edges surface as
+// "unreachable code".
+func feasibleSuccs(p *asm.Program, b block, st *state) []int {
+	if b.end == b.start || len(b.succs) != 2 {
+		return b.succs
+	}
+	last := p.Instrs[b.end-1]
+	if last.Op != isa.OpJbrs {
+		return b.succs
+	}
+	t := st[slotT]
+	if !t.def || !t.known {
+		return b.succs
+	}
+	take := t.c != 0
+	if last.Suffix == isa.SufF {
+		take = !take
+	}
+	// succs order from buildCFG: [branch target, fallthrough].
+	if take {
+		return b.succs[:1]
+	}
+	return b.succs[1:]
+}
+
 func branchTarget(p *asm.Program, in isa.Instr) (int, bool) {
 	for _, o := range in.Ops {
 		if o.Kind == isa.KindLabel {
@@ -175,7 +207,7 @@ func dataflow(p *asm.Program) []Diagnostic {
 		for i := blocks[bi].start; i < blocks[bi].end; i++ {
 			step(&st, p.Instrs[i])
 		}
-		for _, si := range blocks[bi].succs {
+		for _, si := range feasibleSuccs(p, blocks[bi], &st) {
 			if !seen[si] {
 				seen[si] = true
 				in[si] = st
@@ -192,6 +224,10 @@ func dataflow(p *asm.Program) []Diagnostic {
 	rep := func(sev Severity, idx int, format string, args ...any) {
 		ds = append(ds, Diagnostic{sev, idx, fmt.Sprintf(format, args...)})
 	}
+	// The interval analysis generalizes the const-prop above to value
+	// ranges, deciding memory accesses whose addresses are loop-variant
+	// but statically bounded (symbolic trip counts).
+	iv := depgraph.Intervals(p)
 	for bi, b := range blocks {
 		if !seen[bi] {
 			if b.end > b.start {
@@ -203,7 +239,7 @@ func dataflow(p *asm.Program) []Diagnostic {
 		for i := b.start; i < b.end; i++ {
 			inst := p.Instrs[i]
 			reportUses(&st, inst, i, rep)
-			checkMem(&st, p, inst, i, rep)
+			checkMem(&st, iv, p, inst, i, rep)
 			step(&st, inst)
 		}
 	}
@@ -238,6 +274,14 @@ func reportUses(st *state, in isa.Instr, idx int, rep func(Severity, int, string
 
 // step applies one instruction's effect on the abstract state.
 func step(st *state, in isa.Instr) {
+	if isCompareOp(in.Op) && !in.IsVector() {
+		// Fold the compare into the T flag so constant branch conditions
+		// prune infeasible paths (a compare the VM folds but the checker
+		// skipped used to merge impossible paths and report registers
+		// defined on every feasible path as use-before-def).
+		st[slotT] = compareVal(st, in)
+		return
+	}
 	dst, hasDst := in.Dst()
 	if !hasDst {
 		return
@@ -266,6 +310,49 @@ func step(st *state, in isa.Instr) {
 		}
 	}
 	st[s] = nv
+}
+
+func isCompareOp(op isa.Op) bool {
+	switch op {
+	case isa.OpLe, isa.OpLt, isa.OpGt, isa.OpGe, isa.OpEq, isa.OpNe:
+		return true
+	}
+	return false
+}
+
+// compareVal mirrors the VM's scalarCompare in the abstract domain:
+// T = Ops[0] OP Ops[1]. Floating-point compares depend on runtime data
+// and leave T defined-but-unknown.
+func compareVal(st *state, in isa.Instr) absVal {
+	out := absVal{def: true}
+	if in.Suffix == isa.SufD || in.Suffix == isa.SufS || len(in.Ops) != 2 {
+		return out
+	}
+	x := operandVal(st, in.Ops[0])
+	y := operandVal(st, in.Ops[1])
+	if !x.known || !y.known {
+		return out
+	}
+	var tf bool
+	switch in.Op {
+	case isa.OpLe:
+		tf = x.c <= y.c
+	case isa.OpLt:
+		tf = x.c < y.c
+	case isa.OpGt:
+		tf = x.c > y.c
+	case isa.OpGe:
+		tf = x.c >= y.c
+	case isa.OpEq:
+		tf = x.c == y.c
+	case isa.OpNe:
+		tf = x.c != y.c
+	}
+	out.known = true
+	if tf {
+		out.c = 1
+	}
+	return out
 }
 
 func isScalarIntALU(in isa.Instr) bool {
@@ -341,9 +428,10 @@ func intALUVal(st *state, in isa.Instr) absVal {
 }
 
 // checkMem statically bounds-checks memory operands whose effective
-// address is resolvable (no base register, or a base with a propagated
-// constant), and warns about bank-conflict strides on vector streams.
-func checkMem(st *state, p *asm.Program, in isa.Instr, idx int, rep func(Severity, int, string, ...any)) {
+// address is resolvable — exactly (no base register, or a base with a
+// propagated constant) or as a bounded interval from the value-range
+// analysis — and warns about bank-conflict strides on vector streams.
+func checkMem(st *state, iv *depgraph.IntervalResult, p *asm.Program, in isa.Instr, idx int, rep func(Severity, int, string, ...any)) {
 	if !in.IsMemory() {
 		return
 	}
@@ -370,6 +458,9 @@ func checkMem(st *state, p *asm.Program, in isa.Instr, idx int, rep func(Severit
 				rep(SevError, idx, "scalar access at %s%+d is out of bounds (%s is %d bytes)",
 					o.Sym, off, o.Sym, d.Size)
 			}
+			if !offKnown {
+				checkMemInterval(iv, in, o, d.Size, idx, rep)
+			}
 			continue
 		}
 		vl, vs := st[slotVL], st[slotVS]
@@ -383,6 +474,9 @@ func checkMem(st *state, p *asm.Program, in isa.Instr, idx int, rep func(Severit
 				vs.c, isa.MemBanks, isa.BankCycle)
 		}
 		if !offKnown || !vs.known || count <= 0 {
+			if !(offKnown && vs.known) {
+				checkMemInterval(iv, in, o, d.Size, idx, rep)
+			}
 			continue
 		}
 		lo, hi := off, off
@@ -399,6 +493,52 @@ func checkMem(st *state, p *asm.Program, in isa.Instr, idx int, rep func(Severit
 				"vector %s spans [%d,%d) of %s (%d bytes): out of bounds for %d elements, stride %d",
 				memVerb(in), lo, hi, o.Sym, d.Size, count, vs.c)
 		}
+	}
+}
+
+// checkMemInterval decides accesses the exact const-prop could not,
+// using the effective-address (and, for vector streams, whole-span)
+// interval from the value-range analysis. A bounded range wholly inside
+// the symbol is silently proven in bounds — the upgrade from
+// exact-const-only checking that handles loop-variant bases with
+// symbolic trip counts. A bounded range that can exceed the symbol may
+// be out of bounds on some admitted path (warning); one that cannot
+// possibly be in bounds is an error. Unbounded ranges stay silent: an
+// over-approximation cannot prove a violation.
+func checkMemInterval(iv *depgraph.IntervalResult, in isa.Instr, o isa.Operand, size int64, idx int, rep func(Severity, int, string, ...any)) {
+	off := depgraph.Point(o.Disp)
+	if o.Base.Class == isa.ClassA {
+		off = off.Add(iv.Reg(idx, o.Base))
+	}
+	span := off
+	if in.IsVector() {
+		count := iv.Reg(idx, isa.VL()).Meet(depgraph.Range(1, int64(isa.VLMax)))
+		if count.Empty() {
+			return // provably zero-length stream: no access at all
+		}
+		stride := iv.Reg(idx, isa.VS())
+		last := off.Add(count.Sub(depgraph.Point(1)).Mul(stride))
+		span = span.Join(last)
+	}
+	if !span.Bounded() {
+		return
+	}
+	lo, hi := span.Lo, span.Hi+isa.WordBytes
+	kind := "scalar"
+	if in.IsVector() {
+		kind = "vector"
+	}
+	switch {
+	case lo >= 0 && hi <= size:
+		// Statically proven in bounds.
+	case span.Lo+isa.WordBytes > size || span.Hi < 0:
+		rep(SevError, idx,
+			"%s %s range [%d,%d) of %s (%d bytes): out of bounds for every admitted address",
+			kind, memVerb(in), lo, hi, o.Sym, size)
+	default:
+		rep(SevWarning, idx,
+			"%s %s range [%d,%d) of %s (%d bytes): may be out of bounds",
+			kind, memVerb(in), lo, hi, o.Sym, size)
 	}
 }
 

@@ -151,6 +151,110 @@ func TestBadProgramCorpus(t *testing.T) {
 	}
 }
 
+// TestConstBranchFolding is the regression test for the const-prop gap
+// where compares were never folded into the T flag: the checker merged
+// branch paths the machine can never take, and a register assigned only
+// on the (always-taken) feasible side was reported as use-before-def.
+// With the compare folded, the impossible side is pruned and surfaces as
+// unreachable code instead.
+func TestConstBranchFolding(t *testing.T) {
+	src := `mov #0,a0
+eq.w #0,a0
+jbrs.t Ldef
+jmp Luse
+Ldef:
+mov #7,a1
+Luse:
+st.l a1,d_out
+halt
+.data d_out 8
+`
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := verify.Check(p)
+	if hasDiag(ds, verify.SevError, "before definition") {
+		t.Errorf("spurious use-before-def via an infeasible branch path:\n%s", renderAll(ds, p))
+	}
+	if !hasDiag(ds, verify.SevInfo, "unreachable code") {
+		t.Errorf("pruned branch side not reported unreachable:\n%s", renderAll(ds, p))
+	}
+}
+
+// TestIntervalMemCheck covers the value-range upgrade of the static
+// memory checker: loop-variant addresses with symbolic trip counts are
+// decided from their intervals — proven in bounds (silent), possibly out
+// of bounds (warning), or certainly out of bounds (error) — where the
+// exact-const path had to stay silent.
+func TestIntervalMemCheck(t *testing.T) {
+	t.Run("proven-in-bounds", func(t *testing.T) {
+		src := `mov #0,a0
+L:
+mov #8,vl
+mov #8,vs
+ld.l d_X(a0),v0
+add.w #64,a0
+lt.w a0,#960
+jbrs.t L
+halt
+.data d_X 2048
+`
+		p, err := asm.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := verify.Check(p)
+		for _, d := range ds {
+			if d.Severity != verify.SevInfo {
+				t.Errorf("bounded in-bounds stream flagged: %s", d.Render(p))
+			}
+		}
+	})
+	t.Run("may-be-out-of-bounds", func(t *testing.T) {
+		src := `mov #0,a0
+mov #1,s0
+L:
+mov #64,vl
+mov #8,vs
+mov s0,v0
+st.l v0,d_Y(a0)
+add.w #512,a0
+lt.w a0,#4096
+jbrs.t L
+halt
+.data d_Y 1024
+`
+		p, err := asm.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := verify.Check(p)
+		if !hasDiag(ds, verify.SevWarning, "may be out of bounds") {
+			t.Errorf("missing may-be-out-of-bounds warning:\n%s", renderAll(ds, p))
+		}
+	})
+	t.Run("certainly-out-of-bounds", func(t *testing.T) {
+		src := `mov #128,a0
+L:
+add.w #8,a0
+lt.w a0,#256
+jbrs.t L
+ld.l d_X(a0),s0
+halt
+.data d_X 64
+`
+		p, err := asm.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := verify.Check(p)
+		if !hasDiag(ds, verify.SevError, "out of bounds for every admitted address") {
+			t.Errorf("missing certain-out-of-bounds error:\n%s", renderAll(ds, p))
+		}
+	})
+}
+
 // TestDanglingLabel covers the one corpus case the parser already
 // rejects at Parse time (Validate refuses undefined labels), so the
 // verify-level diagnostic needs an API-built program.

@@ -45,6 +45,7 @@ import (
 	"macs/internal/calib"
 	"macs/internal/compiler"
 	"macs/internal/core"
+	"macs/internal/depgraph"
 	"macs/internal/experiments"
 	"macs/internal/fasttier"
 	"macs/internal/ftn"
@@ -259,7 +260,11 @@ func boundSource(src string, opts CompilerOptions, vl int, rules Rules) (*Progra
 	if !ok {
 		return prog, a, fmt.Errorf("macs: compiled code has no vectorized inner loop")
 	}
-	return prog, core.Analyze(ma, loop.Body, vl, rules), nil
+	a = core.Analyze(ma, loop.Body, vl, rules)
+	if cp, _, ok := depgraph.Analyze(prog, vl, depgraph.DefaultParams()); ok {
+		a.TCP = cp.CPL
+	}
+	return prog, a, nil
 }
 
 // BoundSource compiles src and computes the MA/MAC/MACS bounds hierarchy
@@ -374,10 +379,18 @@ func (r FastResult) Report() string {
 	fmt.Fprintf(&b, "MAC workload: %s  -> t_MAC = %.3f CPL\n", a.MAC, a.TMAC)
 	fmt.Fprintf(&b, "t_MACS = %.3f CPL over %d chimes (t_MACS^f %.3f, t_MACS^m %.3f)\n",
 		a.MACS.CPL, len(a.MACS.Chimes), a.MACSF.CPL, a.MACSM.CPL)
+	if a.TCP > 0 {
+		fmt.Fprintf(&b, "t_CP   = %.3f CPL (dependence critical path)\n", a.TCP)
+	}
 	if r.Prediction.CPL > 0 {
 		fmt.Fprintf(&b, "predicted t_p = %.3f CPL ±%.1f%% (%d cycles, %d iterations, %s)\n",
 			r.Prediction.CPL, 100*r.Prediction.ErrorBand, r.Prediction.Cycles,
 			r.Iterations, calibLabel(r.Prediction))
+	}
+	if r.Prediction.Interval {
+		fmt.Fprintf(&b, "interval t_p = [%.3f, %.3f] CPL over %d enumerated paths (cycles [%d, %d])\n",
+			r.Prediction.CPLLo, r.Prediction.CPLHi, r.Prediction.Paths,
+			r.Prediction.CyclesLo, r.Prediction.CyclesHi)
 	}
 	return b.String()
 }
@@ -408,6 +421,25 @@ func (a *Analyzer) PredictSource(src string, iterations int64, ints map[string]i
 	return res, err
 }
 
+// PredictSourceInterval serves a source whose timing depends on
+// unmodeled data through the fast tier's path enumerator: every admitted
+// branch outcome is replayed bit-exactly and the prediction carries the
+// [CyclesLo, CyclesHi] envelope over all of them (the simulated run is
+// guaranteed to land inside). Programs whose data-dependent control flow
+// is not boundedly enumerable still return ErrDataDependent (wrapped).
+func (a *Analyzer) PredictSourceInterval(src string, iterations int64, ints map[string]int64) (FastResult, error) {
+	var res FastResult
+	prog, an, err := boundSource(src, compiler.DefaultOptions(), a.cfg.VLMax, a.cfg.Rules)
+	res.Program = prog
+	if err != nil {
+		return res, err
+	}
+	res.Analysis = an
+	res.Iterations = iterations
+	res.Prediction, err = a.pred.PredictInterval(prog, iterations, ints)
+	return res, err
+}
+
 // PredictSource is the one-shot form of Analyzer.PredictSource under a
 // simulator configuration's machine parameters.
 func PredictSource(src string, iterations int64, cfg VMConfig, ints map[string]int64) (FastResult, error) {
@@ -435,6 +467,9 @@ func (r Result) Report() string {
 	fmt.Fprintf(&b, "MAC workload: %s  -> t_MAC = %.3f CPL\n", a.MAC, a.TMAC)
 	fmt.Fprintf(&b, "t_MACS = %.3f CPL over %d chimes (t_MACS^f %.3f, t_MACS^m %.3f)\n",
 		a.MACS.CPL, len(a.MACS.Chimes), a.MACSF.CPL, a.MACSM.CPL)
+	if a.TCP > 0 {
+		fmt.Fprintf(&b, "t_CP   = %.3f CPL (dependence critical path)\n", a.TCP)
+	}
 	if r.MeasuredCPL > 0 {
 		fmt.Fprintf(&b, "measured t_p = %.3f CPL (%d cycles, %d iterations)\n",
 			r.MeasuredCPL, r.Stats.Cycles, r.Iterations)
