@@ -13,10 +13,13 @@
 //	macs sim     <kernel.f> [-n N] compile and simulate (N inner iterations
 //	                               for the CPL conversion)
 //	macs analyze <kernel.f> [-tier exact|fast|auto] [-n N] [-ints N=1001]
+//	             [-trace out.json]
 //	                               serve through a selectable tier: exact
 //	                               simulates, fast predicts analytically in
 //	                               microseconds, auto does both and reports
-//	                               the divergence
+//	                               the divergence; -trace writes the
+//	                               pipeline spans merged with the simulator
+//	                               lanes as one Chrome trace_event timeline
 //	macs attr    <kernel.f> [-n N] [-trace out.json] [-ring N]
 //	                               simulate and print the per-lane stall
 //	                               attribution table; -trace writes the
@@ -58,6 +61,7 @@ import (
 	"macs/internal/calib"
 	"macs/internal/depgraph"
 	"macs/internal/mem"
+	"macs/internal/obs"
 	"macs/internal/report"
 	"macs/internal/service"
 	"macs/internal/vm"
@@ -265,6 +269,7 @@ func cmdAnalyze(w io.Writer, args []string) error {
 	tierName := fs.String("tier", "exact", "serving tier: exact, fast or auto")
 	n := fs.Int64("n", 0, "inner-loop iterations for CPL conversion")
 	ints := fs.String("ints", "", "integer inputs to prime, e.g. N=1001,LOOP=20")
+	traceOut := fs.String("trace", "", "write the pipeline trace merged with the simulator lanes as Chrome trace_event JSON to this file")
 	var file string
 	if len(args) > 0 && args[0][0] != '-' {
 		file, args = args[0], args[1:]
@@ -285,9 +290,19 @@ func cmdAnalyze(w io.Writer, args []string) error {
 		return err
 	}
 
+	// With -trace, every pipeline stage records a span on tr and the
+	// simulated run's lane events merge into the same timeline.
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace("")
+		ctx = obs.NewContext(ctx, tr)
+	}
+	ctx, root := obs.Start(ctx, "analyze")
+
 	runFast := func() (macs.FastResult, error) {
 		start := time.Now()
-		fr, err := macs.PredictSource(src, *n, macs.DefaultVMConfig(), primeInts)
+		fr, err := macs.NewAnalyzer(macs.DefaultVMConfig()).PredictSourceCtx(ctx, src, *n, primeInts)
 		if err != nil {
 			return fr, err
 		}
@@ -299,7 +314,11 @@ func cmdAnalyze(w io.Writer, args []string) error {
 	}
 	runExact := func() (macs.Result, error) {
 		start := time.Now()
-		res, err := macs.AnalyzeSource(src, *n, primeFunc(primeInts))
+		cfg := macs.DefaultVMConfig()
+		if tr != nil {
+			cfg.Trace = true
+		}
+		res, err := macs.AnalyzeSourceVMCtx(ctx, src, *n, cfg, primeFunc(primeInts))
 		if err != nil {
 			return res, err
 		}
@@ -307,21 +326,44 @@ func cmdAnalyze(w io.Writer, args []string) error {
 		fmt.Fprint(w, res.Report())
 		return res, nil
 	}
+	writeTrace := func() error {
+		root.End()
+		if tr == nil {
+			return nil
+		}
+		v := tr.View()
+		b, err := obs.ChromeTrace(v)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace %s: %d spans, %d lane events -> %s\n",
+			v.ID, len(v.Spans), len(v.Lanes), *traceOut)
+		return nil
+	}
 
 	switch tier {
 	case macs.TierFast:
-		_, err := runFast()
-		return err
+		if _, err := runFast(); err != nil {
+			return err
+		}
+		return writeTrace()
 	case macs.TierExact:
-		_, err := runExact()
-		return err
+		if _, err := runExact(); err != nil {
+			return err
+		}
+		return writeTrace()
 	case macs.TierAuto:
 		fr, err := runFast()
 		if err != nil {
 			if errors.Is(err, macs.ErrDataDependent) {
 				fmt.Fprintf(w, "fast tier declined (%v); falling back to exact\n\n", err)
-				_, err = runExact()
-				return err
+				if _, err = runExact(); err != nil {
+					return err
+				}
+				return writeTrace()
 			}
 			return err
 		}
@@ -339,7 +381,7 @@ func cmdAnalyze(w io.Writer, args []string) error {
 			fmt.Fprintf(w, "divergence: predicted %.3f vs measured %.3f CPL (%+.3f%%, %s the ±%.1f%% band)\n",
 				fr.Prediction.CPL, res.MeasuredCPL, 100*rel, ok, 100*fr.Prediction.ErrorBand)
 		}
-		return nil
+		return writeTrace()
 	}
 	return fmt.Errorf("unhandled tier %v", tier)
 }

@@ -7,7 +7,13 @@
 //
 //	macsd [-addr :8723] [-workers N] [-queue N] [-cache N]
 //	      [-cache-dir DIR] [-timeout 30s] [-drain 30s]
-//	      [-log text|json] [-tier exact]
+//	      [-log text|json] [-tier exact] [-pprof]
+//	      [-runtime-sample 10s]
+//
+// -pprof mounts net/http/pprof under /debug/pprof/ on the same listener
+// and turns on the periodic Go-runtime sampler (heap, GC pauses,
+// goroutines), whose latest sample rides /metrics in both the JSON and
+// Prometheus formats. -runtime-sample adjusts the sampling interval.
 //
 // With -cache-dir set, results also persist to a disk-backed segment
 // store keyed by the same content addresses as the in-memory cache, so
@@ -27,9 +33,11 @@
 //	POST /v1/bound     {"source": "..."}
 //	POST /v1/ax        {"source": "...", "prime": {...}}
 //	GET  /v1/lfk/{id}  one case-study kernel (1,2,3,4,6,7,8,9,10,12)
+//	GET  /v1/trace/{id} one request trace as Chrome trace_event JSON
 //	GET  /healthz      liveness
 //	GET  /metrics      counters, cache/queue stats, latency histograms,
 //	                   fast-tier divergence per kernel class
+//	                   (?format=prom: Prometheus text exposition)
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight and queued jobs, then exits.
@@ -42,6 +50,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // handlers registered on DefaultServeMux; exposed only with -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -62,6 +71,8 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	tier := flag.String("tier", "exact", "default serving tier for requests that name none: exact, fast or auto")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ and enable the runtime sampler")
+	runtimeSample := flag.Duration("runtime-sample", 10*time.Second, "Go-runtime sampling interval (with -pprof; 0 disables)")
 	flag.Parse()
 
 	if _, err := macs.ParseTier(*tier); err != nil {
@@ -77,7 +88,7 @@ func main() {
 	}
 	log := slog.New(handler)
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Workers:        *workers,
 		QueueSize:      *queue,
 		CacheSize:      *cacheSize,
@@ -85,10 +96,24 @@ func main() {
 		RequestTimeout: *timeout,
 		DefaultTier:    *tier,
 		Logger:         log,
-	})
+	}
+	if *pprofOn {
+		cfg.RuntimeSample = *runtimeSample
+	}
+	svc := service.New(cfg)
+	var httpHandler http.Handler = service.NewHandler(svc)
+	if *pprofOn {
+		// net/http/pprof registers on http.DefaultServeMux at import; route
+		// only its prefix there so the API mux keeps everything else.
+		root := http.NewServeMux()
+		root.Handle("/debug/pprof/", http.DefaultServeMux)
+		root.Handle("/", httpHandler)
+		httpHandler = root
+		log.Info("pprof enabled", "path", "/debug/pprof/", "runtime_sample", *runtimeSample)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(svc),
+		Handler:           httpHandler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -22,6 +22,13 @@
 //	macsload [-addr http://localhost:8723] [-n 200] [-c 8] [-kernels 4]
 //	         [-tier exact|fast|auto] [-batch B]
 //	         [-slo-p50 5ms] [-slo-p99 50ms]
+//	         [-hist] [-prom-out FILE]
+//
+// -hist prints the full hot-phase latency histogram (cumulative counts
+// per bucket with a bar chart) instead of just the percentiles.
+// -prom-out writes the client-side results in the Prometheus text
+// exposition format to FILE — drop it in a node_exporter textfile
+// collector directory to scrape a load run's outcome.
 package main
 
 import (
@@ -34,11 +41,13 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"macs"
+	"macs/internal/obs"
 	"macs/internal/service"
 )
 
@@ -51,9 +60,11 @@ func main() {
 	batch := flag.Int("batch", 0, "batch mode: items per /v1/batch request (0 = single /v1/analyze requests)")
 	sloP50 := flag.Duration("slo-p50", 0, "fail (exit 1) if hot-phase p50 exceeds this (0 disables)")
 	sloP99 := flag.Duration("slo-p99", 0, "fail (exit 1) if hot-phase p99 exceeds this (0 disables)")
+	hist := flag.Bool("hist", false, "print the full hot-phase latency histogram")
+	promOut := flag.String("prom-out", "", "write client-side results as a Prometheus textfile to this path")
 	flag.Parse()
 
-	if err := run(*addr, *n, *c, *nk, *tier, *batch, *sloP50, *sloP99); err != nil {
+	if err := run(*addr, *n, *c, *nk, *tier, *batch, *sloP50, *sloP99, *hist, *promOut); err != nil {
 		fmt.Fprintln(os.Stderr, "macsload:", err)
 		os.Exit(1)
 	}
@@ -79,7 +90,7 @@ func (ct *counters) record(d time.Duration) {
 	ct.mu.Unlock()
 }
 
-func run(addr string, n, c, nk int, tier string, batch int, sloP50, sloP99 time.Duration) error {
+func run(addr string, n, c, nk int, tier string, batch int, sloP50, sloP99 time.Duration, hist bool, promOut string) error {
 	kernels := macs.Kernels()
 	if nk < 1 {
 		nk = 1
@@ -176,6 +187,15 @@ func run(addr string, n, c, nk int, tier string, batch int, sloP50, sloP99 time.
 		fmt.Printf("      p50 %v  p90 %v  p99 %v  max %v\n",
 			p50.Round(time.Microsecond), pct(lats, 90).Round(time.Microsecond),
 			p99.Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	if hist && len(lats) > 0 {
+		printHist(os.Stdout, lats)
+	}
+	if promOut != "" {
+		if err := writePromText(promOut, &ct, lats, hotDur); err != nil {
+			return fmt.Errorf("prom-out: %w", err)
+		}
+		fmt.Printf("wrote Prometheus textfile: %s\n", promOut)
 	}
 
 	// Server-side view: cache effectiveness from /metrics.
@@ -327,6 +347,78 @@ func analyze(client *http.Client, addr string, body []byte) (int, error) {
 		return resp.StatusCode, fmt.Errorf("status %s", resp.Status)
 	}
 	return resp.StatusCode, nil
+}
+
+// histBucketsMS bound the client-side latency histogram, log-spaced from
+// 100µs to 5s.
+var histBucketsMS = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// bucketize folds sorted latencies into cumulative counts per histogram
+// bucket (one extra for +Inf).
+func bucketize(sorted []time.Duration) []int64 {
+	cum := make([]int64, len(histBucketsMS)+1)
+	for i, le := range histBucketsMS {
+		ms := time.Duration(le * float64(time.Millisecond))
+		cum[i] = int64(sort.Search(len(sorted), func(j int) bool { return sorted[j] > ms }))
+	}
+	cum[len(histBucketsMS)] = int64(len(sorted))
+	return cum
+}
+
+// printHist renders the full latency distribution: one line per bucket
+// with its cumulative count, share of the total and a bar.
+func printHist(w io.Writer, sorted []time.Duration) {
+	cum := bucketize(sorted)
+	total := int64(len(sorted))
+	fmt.Fprintln(w, "      latency histogram (cumulative):")
+	prev := int64(0)
+	for i := range cum {
+		label := "+Inf"
+		if i < len(histBucketsMS) {
+			label = fmt.Sprintf("%gms", histBucketsMS[i])
+		}
+		inBucket := cum[i] - prev
+		prev = cum[i]
+		if cum[i] == 0 {
+			continue // nothing at or below this bound yet
+		}
+		bar := strings.Repeat("#", int(40*inBucket/total))
+		fmt.Fprintf(w, "      <= %8s %6d (%5.1f%%) %s\n", label, cum[i], 100*float64(cum[i])/float64(total), bar)
+		if cum[i] == total && i >= len(histBucketsMS) {
+			break
+		}
+	}
+}
+
+// writePromText writes the client-side run results in the Prometheus
+// text exposition format (textfile-collector shaped), self-validated
+// with the same parser the CI scrape gate uses.
+func writePromText(path string, ct *counters, sorted []time.Duration, hotDur time.Duration) error {
+	w := obs.NewPromWriter()
+	w.Counter("macsload_requests_total", "Hot-phase requests by outcome.",
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "completed"}}, Value: float64(ct.completed.Load())},
+		obs.Sample{Labels: []obs.Label{{Name: "outcome", Value: "errored"}}, Value: float64(ct.errored.Load())},
+	)
+	w.Counter("macsload_retries_total", "Requests retried after a 429.",
+		obs.Sample{Value: float64(ct.retries.Load())})
+	w.Gauge("macsload_hot_duration_seconds", "Wall-clock duration of the hot phase.",
+		obs.Sample{Value: hotDur.Seconds()})
+	var sum float64
+	for _, d := range sorted {
+		sum += d.Seconds()
+	}
+	h := obs.HistSample{Count: int64(len(sorted)), Sum: sum}
+	for i, cumCount := range bucketize(sorted) {
+		if i >= len(histBucketsMS) {
+			break // +Inf: the writer appends it from Count
+		}
+		h.Buckets = append(h.Buckets, obs.Bucket{LE: histBucketsMS[i] / 1e3, CumCount: cumCount})
+	}
+	w.Histogram("macsload_request_duration_seconds", "Hot-phase request latency.", h)
+	if _, err := obs.ParseProm(string(w.Bytes())); err != nil {
+		return fmt.Errorf("generated exposition invalid: %w", err)
+	}
+	return os.WriteFile(path, w.Bytes(), 0o644)
 }
 
 func pct(sorted []time.Duration, p int) time.Duration {

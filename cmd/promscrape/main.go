@@ -1,0 +1,101 @@
+// Command promscrape fetches a Prometheus text-exposition endpoint and
+// validates it against the format's structural rules (HELP/TYPE
+// ordering, family grouping, label escaping, histogram bucket
+// monotonicity, +Inf/_count agreement) using the same parser the unit
+// tests run against the exposition writer. CI points it at a live
+// macsd's /metrics?format=prom as the observability gate.
+//
+// Usage:
+//
+//	promscrape [-require macsd_requests_total,...] URL|FILE
+//
+// The argument is fetched over HTTP when it starts with http:// or
+// https://, otherwise read as a file (macsload -prom-out output, for
+// example). Exit status: 0 when the document parses clean and every
+// -require family is present, 1 on a violation, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"macs/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	quiet := flag.Bool("q", false, "suppress the per-family summary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: promscrape [-require fam1,fam2] [-q] URL|FILE")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0), *require, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "promscrape:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, target, require string, quiet bool) error {
+	text, err := fetch(target)
+	if err != nil {
+		return err
+	}
+	fams, err := obs.ParseProm(text)
+	if err != nil {
+		return fmt.Errorf("exposition invalid: %w", err)
+	}
+	byName := make(map[string]obs.PromFamily, len(fams))
+	samples := 0
+	for _, f := range fams {
+		byName[f.Name] = f
+		samples += len(f.Samples)
+	}
+	if !quiet {
+		fmt.Fprintf(w, "%s: %d families, %d samples, format valid\n", target, len(fams), samples)
+		for _, f := range fams {
+			fmt.Fprintf(w, "  %-45s %-9s %d sample(s)\n", f.Name, f.Type, len(f.Samples))
+		}
+	}
+	var missing []string
+	for _, name := range strings.Split(require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := byName[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("required families missing: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+func fetch(target string) (string, error) {
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		resp, err := http.Get(target)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("%s: status %s", target, resp.Status)
+		}
+		return string(b), nil
+	}
+	b, err := os.ReadFile(target)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

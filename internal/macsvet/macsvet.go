@@ -31,6 +31,11 @@
 //     named Must* are exempt: they are documented test-only helpers.
 //   - musttest: module-internal Must* helpers that panic may only be
 //     called from _test.go files (or from other Must* helpers).
+//   - spanend: every *obs.Span started via obs.Start in the facade
+//     (package macs) or in internal/service is ended in the statement
+//     list that started it, before any statement that can return out of
+//     the function — an unended span drops its stage from traces and
+//     the /metrics latency histograms.
 package macsvet
 
 import (
@@ -193,6 +198,7 @@ func Run(root string) ([]Finding, error) {
 	fs = append(fs, checkDepGraph(m)...)
 	fs = append(fs, checkPanics(m)...)
 	fs = append(fs, checkMustCalls(m)...)
+	fs = append(fs, checkSpanEnd(m)...)
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i].Pos, fs[j].Pos
 		if a.Filename != b.Filename {

@@ -22,6 +22,9 @@ func TestFixtureFindings(t *testing.T) {
 		{"fixture.go", "tiermap", "tierNames has 1 entries for 2 Tier members"},
 		{"internal/fasttier/cause.go", "tiermap", "must be CauseChain"},
 		{"internal/fasttier/cause.go", "tiermap", `causeNames[1] = "hiccup", stallNames[1] = "bubble"`},
+		{"internal/service/spans.go", "spanend", `span "sp" can leave the function before sp.End()`},
+		{"internal/service/spans.go", "spanend", "discarded and can never be ended"},
+		{"internal/service/spans.go", "spanend", `span "sp" is not ended in the block that starts it`},
 		{"paint/paint.go", "exhaustive", "missing Green, Blue"},
 	}
 	if len(fs) != len(want) {

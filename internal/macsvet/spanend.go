@@ -1,0 +1,159 @@
+package macsvet
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// checkSpanEnd enforces the span discipline of the observability layer:
+// every *obs.Span obtained from obs.Start in the facade (package macs)
+// or the serving layer (internal/service) must be ended in the same
+// statement list that started it, before any statement that can return
+// out of the function. The discipline keeps traces complete — an
+// unended span never reaches the Chrome export and silently drops its
+// stage from /metrics latency histograms — and keeping Start/End in one
+// block is what makes the property statically checkable at all.
+func checkSpanEnd(m *Module) []Finding {
+	obsPath := m.Path + "/internal/obs"
+	var fs []Finding
+	for _, imp := range []string{m.Path, m.Path + "/internal/service"} {
+		p := m.Pkgs[imp]
+		if p == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			locals := map[string]bool{}
+			for local, path := range p.Imports[f] {
+				if path == obsPath {
+					locals[local] = true
+				}
+			}
+			if len(locals) == 0 {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				var list []ast.Stmt
+				switch s := n.(type) {
+				case *ast.BlockStmt:
+					list = s.List
+				case *ast.CaseClause:
+					list = s.Body
+				case *ast.CommClause:
+					list = s.Body
+				default:
+					return true
+				}
+				fs = append(fs, checkSpanList(m, locals, list)...)
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// checkSpanList scans one statement list for obs.Start assignments and
+// verifies each span's End call follows in the same list with no
+// escaping statement in between.
+func checkSpanList(m *Module, locals map[string]bool, list []ast.Stmt) []Finding {
+	var fs []Finding
+	for i, st := range list {
+		name, ok := spanStart(locals, st)
+		if !ok {
+			continue
+		}
+		pos := m.Fset.Position(st.Pos())
+		if name == "_" {
+			fs = append(fs, Finding{Pos: pos, Rule: "spanend",
+				Message: "span from obs.Start is discarded and can never be ended"})
+			continue
+		}
+		ended := false
+		var leak ast.Stmt
+		for _, next := range list[i+1:] {
+			if isSpanEnd(next, name) {
+				ended = true
+				break
+			}
+			if escapes(next) {
+				leak = next
+				break
+			}
+		}
+		switch {
+		case leak != nil:
+			fs = append(fs, Finding{Pos: m.Fset.Position(leak.Pos()), Rule: "spanend",
+				Message: fmt.Sprintf("span %q can leave the function before %s.End() (started at line %d)",
+					name, name, pos.Line)})
+		case !ended:
+			fs = append(fs, Finding{Pos: pos, Rule: "spanend",
+				Message: fmt.Sprintf("span %q is not ended in the block that starts it", name)})
+		}
+	}
+	return fs
+}
+
+// spanStart reports the span variable bound by st when st is an
+// assignment whose sole right-hand side is a call to obs.Start (under
+// any local import name bound to the obs package).
+func spanStart(locals map[string]bool, st ast.Stmt) (string, bool) {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return "", false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return "", false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || !locals[pkg.Name] {
+		return "", false
+	}
+	// obs.Start returns (ctx, *Span); the span is the last binding.
+	id, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// isSpanEnd reports whether st is name.End() — either called directly
+// or deferred (a defer reached before any return ends on all paths).
+func isSpanEnd(st ast.Stmt, name string) bool {
+	var call *ast.CallExpr
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = s.Call
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// escapes reports whether executing st can leave the enclosing function:
+// a return statement anywhere inside it, function literals excluded
+// (their returns exit the literal, not the function under analysis).
+func escapes(st ast.Stmt) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

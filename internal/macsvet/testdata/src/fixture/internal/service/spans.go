@@ -1,0 +1,39 @@
+package service
+
+import (
+	"context"
+	"errors"
+
+	"fixture/internal/obs"
+)
+
+// Trace starts two spans the spanend rule must flag: one whose error
+// check can return before End, and one discarded outright.
+func Trace(ctx context.Context) error {
+	_, sp := obs.Start(ctx, "lookup")
+	err := step()
+	if err != nil {
+		return err // leaves with sp open
+	}
+	sp.End()
+
+	_, _ = obs.Start(ctx, "discarded")
+	return nil
+}
+
+// Orphan starts a span and forgets it.
+func Orphan(ctx context.Context) {
+	_, sp := obs.Start(ctx, "orphan")
+	_ = sp
+}
+
+// Clean is the compliant shape: End in the same block, defer accepted.
+func Clean(ctx context.Context) {
+	ctx, root := obs.Start(ctx, "root")
+	defer root.End()
+	_, sp := obs.Start(ctx, "step")
+	_ = step()
+	sp.End()
+}
+
+func step() error { return errors.New("nope") }

@@ -1,0 +1,34 @@
+package obs
+
+import "context"
+
+// NewContext returns ctx carrying the trace. Spans started under the
+// returned context attach to t.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// FromContext returns the trace riding ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// Start begins a span named name under the current span of ctx (or as a
+// root when none is open) and returns a context under which children
+// nest inside it. When ctx carries no Trace, Start is a no-op costing
+// one context.Value lookup: it returns ctx unchanged and a nil *Span
+// whose End does nothing, so unconditionally instrumented code paths
+// stay free when tracing is disabled.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	t := FromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent := -1
+	if ps, ok := ctx.Value(spanKey).(*Span); ok && ps != nil && ps.trace == t {
+		parent = ps.idx
+	}
+	sp := t.startSpan(name, parent)
+	return context.WithValue(ctx, spanKey, sp), sp
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a hand-rolled Prometheus text-exposition (version 0.0.4)
+// writer. No client library: the serving layer's metric inventory is
+// small and fixed, and the repo policy is zero new dependencies. The
+// writer enforces the format's structural rules by construction — one
+// HELP/TYPE header per family, all of a family's samples in one group,
+// histogram bucket sets completed with a +Inf bucket equal to the
+// count — and promparse.go is the independent validator the tests and
+// the CI scrape gate run against the output.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair. Order is preserved as given.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one series of a counter or gauge family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Bucket is one finite histogram bucket: the cumulative count of
+// observations ≤ LE. The writer appends the +Inf bucket itself.
+type Bucket struct {
+	LE       float64
+	CumCount int64
+}
+
+// HistSample is one series of a histogram family: its finite buckets
+// (cumulative, in increasing LE order), the sum of observations and the
+// total count.
+type HistSample struct {
+	Labels  []Label
+	Buckets []Bucket
+	Sum     float64
+	Count   int64
+}
+
+// PromWriter accumulates one exposition document. Families must be
+// written one at a time (all samples together), which is exactly the
+// grouping rule of the format.
+type PromWriter struct {
+	buf  bytes.Buffer
+	seen map[string]bool
+}
+
+// NewPromWriter returns an empty writer.
+func NewPromWriter() *PromWriter {
+	return &PromWriter{seen: map[string]bool{}}
+}
+
+// Bytes returns the exposition document accumulated so far.
+func (w *PromWriter) Bytes() []byte { return w.buf.Bytes() }
+
+// header emits the HELP/TYPE pair for a family, once.
+func (w *PromWriter) header(name, help, typ string) {
+	if w.seen[name] {
+		return
+	}
+	w.seen[name] = true
+	fmt.Fprintf(&w.buf, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&w.buf, "# TYPE %s %s\n", name, typ)
+}
+
+// Counter writes one counter family with all its samples.
+func (w *PromWriter) Counter(name, help string, samples ...Sample) {
+	w.header(name, help, "counter")
+	for _, s := range samples {
+		w.sample(name, s.Labels, s.Value)
+	}
+}
+
+// Gauge writes one gauge family with all its samples.
+func (w *PromWriter) Gauge(name, help string, samples ...Sample) {
+	w.header(name, help, "gauge")
+	for _, s := range samples {
+		w.sample(name, s.Labels, s.Value)
+	}
+}
+
+// Histogram writes one histogram family with all its series. Each
+// series' finite buckets are emitted in the given order followed by the
+// +Inf bucket carrying the total count, then the _sum and _count lines.
+func (w *PromWriter) Histogram(name, help string, series ...HistSample) {
+	w.header(name, help, "histogram")
+	for _, h := range series {
+		for _, b := range h.Buckets {
+			w.sample(name+"_bucket", append(append([]Label{}, h.Labels...),
+				Label{"le", formatLE(b.LE)}), float64(b.CumCount))
+		}
+		w.sample(name+"_bucket", append(append([]Label{}, h.Labels...),
+			Label{"le", "+Inf"}), float64(h.Count))
+		w.sample(name+"_sum", h.Labels, h.Sum)
+		w.sample(name+"_count", h.Labels, float64(h.Count))
+	}
+}
+
+func (w *PromWriter) sample(name string, labels []Label, v float64) {
+	w.buf.WriteString(name)
+	if len(labels) > 0 {
+		w.buf.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.buf.WriteByte(',')
+			}
+			fmt.Fprintf(&w.buf, `%s="%s"`, l.Name, escapeLabel(l.Value))
+		}
+		w.buf.WriteByte('}')
+	}
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(formatValue(v))
+	w.buf.WriteByte('\n')
+}
+
+// formatValue renders a sample value; Prometheus accepts Go's 'g'
+// shortest representation plus the spelled-out specials.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLE renders a finite bucket bound for the le label.
+func formatLE(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote and line feed.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text: backslash and line feed only (quotes
+// are legal there).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// SortedLabelKeys returns m's keys sorted — the helper every renderer
+// uses to emit map-backed families deterministically.
+func SortedLabelKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPromWriterGolden pins the exposition text byte for byte: HELP/TYPE
+// ordering, label rendering, escaping, histogram bucket + sum/count
+// series and value formatting.
+func TestPromWriterGolden(t *testing.T) {
+	w := NewPromWriter()
+	w.Counter("macsd_requests_total", "Requests by endpoint.",
+		Sample{Labels: []Label{{"endpoint", "analyze"}}, Value: 42},
+		Sample{Labels: []Label{{"endpoint", "batch"}}, Value: 7},
+	)
+	w.Gauge("macsd_queue_depth", "Jobs waiting in the queue.", Sample{Value: 3})
+	w.Counter("macsd_odd_labels_total", `Escaping: backslash \ quote " newline.`,
+		Sample{Labels: []Label{{"path", "a\\b\"c\nd"}}, Value: 1},
+	)
+	w.Histogram("macsd_request_duration_seconds", "Request latency.",
+		HistSample{
+			Labels:  []Label{{"endpoint", "analyze"}},
+			Buckets: []Bucket{{LE: 0.001, CumCount: 2}, {LE: 0.01, CumCount: 5}},
+			Sum:     0.0325,
+			Count:   6,
+		},
+	)
+
+	want := strings.Join([]string{
+		`# HELP macsd_requests_total Requests by endpoint.`,
+		`# TYPE macsd_requests_total counter`,
+		`macsd_requests_total{endpoint="analyze"} 42`,
+		`macsd_requests_total{endpoint="batch"} 7`,
+		`# HELP macsd_queue_depth Jobs waiting in the queue.`,
+		`# TYPE macsd_queue_depth gauge`,
+		`macsd_queue_depth 3`,
+		`# HELP macsd_odd_labels_total Escaping: backslash \\ quote " newline.`,
+		`# TYPE macsd_odd_labels_total counter`,
+		`macsd_odd_labels_total{path="a\\b\"c\nd"} 1`,
+		`# HELP macsd_request_duration_seconds Request latency.`,
+		`# TYPE macsd_request_duration_seconds histogram`,
+		`macsd_request_duration_seconds_bucket{endpoint="analyze",le="0.001"} 2`,
+		`macsd_request_duration_seconds_bucket{endpoint="analyze",le="0.01"} 5`,
+		`macsd_request_duration_seconds_bucket{endpoint="analyze",le="+Inf"} 6`,
+		`macsd_request_duration_seconds_sum{endpoint="analyze"} 0.0325`,
+		`macsd_request_duration_seconds_count{endpoint="analyze"} 6`,
+		``,
+	}, "\n")
+	if got := string(w.Bytes()); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// And the validator must accept its own writer's output.
+	fams, err := ParseProm(string(w.Bytes()))
+	if err != nil {
+		t.Fatalf("parser rejected writer output: %v", err)
+	}
+	if len(fams) != 4 {
+		t.Fatalf("got %d families, want 4", len(fams))
+	}
+}
+
+func TestParsePromRoundTripsEscapes(t *testing.T) {
+	w := NewPromWriter()
+	odd := "a\\b\"c\nd"
+	w.Counter("x_total", "h", Sample{Labels: []Label{{"l", odd}}, Value: 1})
+	fams, err := ParseProm(string(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams[0].Samples[0].Labels["l"]; got != odd {
+		t.Fatalf("label round trip: got %q want %q", got, odd)
+	}
+}
+
+func TestParsePromRejectsViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring of the error
+	}{
+		{
+			"sample without TYPE",
+			"foo 1\n",
+			"no preceding TYPE",
+		},
+		{
+			"TYPE after samples",
+			"# TYPE foo counter\nfoo 1\n# TYPE bar gauge\nbar 1\n# TYPE foo counter\n",
+			"reopened",
+		},
+		{
+			"interleaved family groups",
+			"# TYPE foo counter\nfoo 1\n# TYPE bar gauge\nbar 1\nfoo 2\n",
+			"outside its family's group",
+		},
+		{
+			"unknown type",
+			"# TYPE foo flurble\nfoo 1\n",
+			"unknown TYPE",
+		},
+		{
+			"bad escape",
+			"# TYPE foo counter\nfoo{l=\"a\\qb\"} 1\n",
+			"invalid escape",
+		},
+		{
+			"duplicate series",
+			"# TYPE foo counter\nfoo{a=\"x\"} 1\nfoo{a=\"x\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"buckets out of order",
+			"# TYPE h histogram\n" +
+				"h_bucket{le=\"0.01\"} 1\nh_bucket{le=\"0.001\"} 2\nh_bucket{le=\"+Inf\"} 3\n" +
+				"h_sum 1\nh_count 3\n",
+			"not strictly increasing",
+		},
+		{
+			"bucket counts decrease",
+			"# TYPE h histogram\n" +
+				"h_bucket{le=\"0.001\"} 5\nh_bucket{le=\"0.01\"} 3\nh_bucket{le=\"+Inf\"} 5\n" +
+				"h_sum 1\nh_count 5\n",
+			"counts decrease",
+		},
+		{
+			"missing +Inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"0.001\"} 1\nh_sum 1\nh_count 1\n",
+			"no +Inf bucket",
+		},
+		{
+			"+Inf disagrees with count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+			"!= count",
+		},
+		{
+			"stray histogram series",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\nh_quantile 1\n",
+			"no preceding TYPE",
+		},
+		{
+			"bad metric name",
+			"# TYPE 9foo counter\n9foo 1\n",
+			"invalid metric name",
+		},
+		{
+			"bad label name",
+			"# TYPE foo counter\nfoo{9l=\"x\"} 1\n",
+			"invalid label name",
+		},
+		{
+			"unterminated label block",
+			"# TYPE foo counter\nfoo{l=\"x\" 1\n",
+			"malformed label",
+		},
+		{
+			"bad value",
+			"# TYPE foo counter\nfoo x\n",
+			"bad value",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseProm(tc.text)
+			if err == nil {
+				t.Fatalf("parser accepted invalid input:\n%s", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParsePromAcceptsSpecialValues(t *testing.T) {
+	text := "# TYPE foo gauge\nfoo{k=\"a\"} +Inf\nfoo{k=\"b\"} -Inf\nfoo{k=\"c\"} NaN\n"
+	fams, err := ParseProm(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fams[0].Samples
+	if !math.IsInf(s[0].Value, 1) || !math.IsInf(s[1].Value, -1) || !math.IsNaN(s[2].Value) {
+		t.Fatalf("special values parsed wrong: %+v", s)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	for v, want := range map[float64]string{
+		0:           "0",
+		1.5:         "1.5",
+		math.Inf(1): "+Inf",
+	} {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"macs/internal/obs"
 	"macs/internal/par"
 )
 
@@ -58,12 +59,20 @@ func (s *Service) AnalyzeBatch(ctx context.Context, req BatchRequest, emit func(
 	// its own items.
 	var emitMu sync.Mutex
 	err := par.ForEach(s.cfg.Workers, len(req.Items), func(i int) error {
-		resp, err := s.Analyze(ctx, req.Items[i])
+		ictx, sp := obs.Start(ctx, "batch-item")
+		resp, err := s.Analyze(ictx, req.Items[i])
+		sp.End()
 		item := BatchItemResult{Index: i}
-		if err != nil {
+		switch {
+		case err != nil:
 			item.Error = err.Error()
-		} else {
+			s.metrics.ObserveBatchItem("error")
+		case resp.Cached:
 			item.Result = &resp
+			s.metrics.ObserveBatchItem("cached")
+		default:
+			item.Result = &resp
+			s.metrics.ObserveBatchItem("ok")
 		}
 		emitMu.Lock()
 		emit(item)

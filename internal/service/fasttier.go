@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"macs"
+	"macs/internal/obs"
 )
 
 // This file is the serving side of the analytical fast tier: the
@@ -114,12 +115,12 @@ func (s *Service) analyzeFast(ctx context.Context, req AnalyzeRequest, tier macs
 		return AnalyzeResponse{}, false, err
 	}
 	v, cached, fresh, err := s.do(ctx, key, decodeJSON[AnalyzeResponse](), func() (any, error) {
-		res, err := s.analyzer.PredictSource(req.Source, req.Iterations, req.Prime.fastInts())
+		res, err := s.analyzer.PredictSourceCtx(ctx, req.Source, req.Iterations, req.Prime.fastInts())
 		if err != nil && errors.Is(err, macs.ErrDataDependent) {
 			// The single-path replay refused: try the path enumerator,
 			// which serves a static [lo, hi] envelope when the
 			// data-dependent control flow is boundedly enumerable.
-			res, err = s.analyzer.PredictSourceInterval(req.Source, req.Iterations, req.Prime.fastInts())
+			res, err = s.analyzer.PredictSourceIntervalCtx(ctx, req.Source, req.Iterations, req.Prime.fastInts())
 		}
 		if err != nil {
 			return nil, err
@@ -171,7 +172,7 @@ func (s *Service) analyzeAuto(ctx context.Context, req AnalyzeRequest) (AnalyzeR
 		return AnalyzeResponse{}, err
 	}
 	if fresh {
-		s.verifyAsync(req, resp)
+		s.verifyAsync(ctx, req, resp)
 	}
 	return resp, nil
 }
@@ -185,7 +186,7 @@ func (s *Service) analyzeAuto(ctx context.Context, req AnalyzeRequest) (AnalyzeR
 // (and Close's verifyWG.Wait drains it), or it observes the flag and
 // never starts — verifyWG.Add can no longer race Close's Wait into a
 // closed pool.
-func (s *Service) verifyAsync(req AnalyzeRequest, fast AnalyzeResponse) {
+func (s *Service) verifyAsync(rctx context.Context, req AnalyzeRequest, fast AnalyzeResponse) {
 	s.closeMu.Lock()
 	if s.closed {
 		s.closeMu.Unlock()
@@ -195,9 +196,15 @@ func (s *Service) verifyAsync(req AnalyzeRequest, fast AnalyzeResponse) {
 	s.closeMu.Unlock()
 	go func() {
 		defer s.verifyWG.Done()
-		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+		// WithoutCancel keeps the requester's trace values (so the
+		// verification's spans land on the originating trace while it is
+		// live) but detaches its deadline: the verification outlives the
+		// request that spawned it.
+		ctx, cancel := context.WithTimeout(context.WithoutCancel(rctx), s.cfg.RequestTimeout)
 		defer cancel()
+		ctx, sp := obs.Start(ctx, "verify-exact")
 		exact, err := s.analyzeExact(ctx, req)
+		sp.End()
 		if err != nil {
 			s.log.Warn("fast-tier verification failed", "err", err)
 			return

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"macs"
+	"macs/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; kernel sources are tiny, priming
@@ -22,7 +23,8 @@ const maxBodyBytes = 4 << 20
 //
 //	POST /v1/analyze   full pipeline; ?tier=exact|fast|auto selects the
 //	                   serving tier (auto: fast answer now, exact
-//	                   verification async)
+//	                   verification async); ?trace=1 embeds the request's
+//	                   span/lane trace in the response
 //	POST /v1/batch     many kernels in one request; per-kernel results
 //	                   stream back as NDJSON lines in completion order
 //	                   (?tier= overrides every item's tier)
@@ -30,41 +32,53 @@ const maxBodyBytes = 4 << 20
 //	POST /v1/check     static verification only (diagnostics, no execution)
 //	POST /v1/ax        A-process / X-process measurement
 //	GET  /v1/lfk/{id}  one case-study kernel, bounds + measurement + diagnosis
+//	GET  /v1/trace/{id} one retained request trace as Chrome trace_event
+//	                   JSON (spans merged with simulator lanes)
 //	GET  /healthz      liveness
-//	GET  /metrics      JSON counters, cache/queue stats, latency histograms
+//	GET  /metrics      JSON counters, cache/queue stats, latency histograms;
+//	                   ?format=prom serves the Prometheus text exposition
 //
-// Every analysis request runs under the service's RequestTimeout and is
-// logged structurally (endpoint, status, duration).
+// Every analysis request runs under the service's RequestTimeout, is
+// logged structurally (endpoint, status, duration, trace ID) and carries
+// its trace ID in the X-Macs-Trace response header.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/analyze", traced(s, "analyze", func(w http.ResponseWriter, r *http.Request) {
 		tier := r.URL.Query().Get("tier")
+		wantTrace := r.URL.Query().Get("trace") == "1"
 		handleJSON(s, w, r, func(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, error) {
 			if tier != "" {
 				req.Tier = tier
 			}
-			return s.Analyze(ctx, req)
+			resp, err := s.Analyze(ctx, req)
+			if err == nil && wantTrace {
+				if tr := obs.FromContext(ctx); tr != nil {
+					v := tr.View()
+					resp.Trace = &v
+				}
+			}
+			return resp, err
 		})
-	})
-	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/batch", traced(s, "batch", func(w http.ResponseWriter, r *http.Request) {
 		handleBatch(s, w, r)
-	})
-	mux.HandleFunc("POST /v1/bound", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/bound", traced(s, "bound", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(s, w, r, func(ctx context.Context, req BoundRequest) (BoundResponse, error) {
 			return s.Bound(ctx, req)
 		})
-	})
-	mux.HandleFunc("POST /v1/check", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/check", traced(s, "check", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(s, w, r, func(ctx context.Context, req CheckRequest) (CheckResponse, error) {
 			return s.Check(ctx, req)
 		})
-	})
-	mux.HandleFunc("POST /v1/ax", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/ax", traced(s, "ax", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(s, w, r, func(ctx context.Context, req AXRequest) (AXResponse, error) {
 			return s.AX(ctx, req)
 		})
-	})
-	mux.HandleFunc("GET /v1/lfk/{id}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/lfk/{id}", traced(s, "lfk", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.Atoi(r.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad kernel id %q", r.PathValue("id")))
@@ -78,14 +92,51 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+	}))
+	mux.HandleFunc("GET /v1/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		v, ok := s.TraceByID(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown or evicted trace %q", id))
+			return
+		}
+		b, err := obs.ChromeTrace(v)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b) //nolint:errcheck // client went away
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			w.Write(RenderProm(s.Metrics())) //nolint:errcheck // client went away
+			return
+		}
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
 	return recoverPanic(s.log, accessLog(s.log, mux))
+}
+
+// traced wraps one /v1/ endpoint with a request trace: a fresh trace ID
+// (surfaced in the X-Macs-Trace response header and the access log), a
+// root span named after the endpoint, and — after the handler returns —
+// the fold of the trace's stage durations into the per-stage histograms
+// plus retention of the snapshot for GET /v1/trace/{id}.
+func traced(s *Service, endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace("")
+		ctx := obs.NewContext(r.Context(), tr)
+		ctx, root := obs.Start(ctx, endpoint)
+		w.Header().Set("X-Macs-Trace", tr.ID())
+		h(w, r.WithContext(ctx))
+		root.End()
+		s.finishTrace(tr)
+	}
 }
 
 // handleJSON decodes a JSON body, applies the request timeout, runs the
@@ -251,13 +302,17 @@ func accessLog(log *slog.Logger, next http.Handler) http.Handler {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
-		log.Info("http",
+		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
 			"bytes", sw.bytes,
 			"dur", time.Since(start),
 			"remote", r.RemoteAddr,
-		)
+		}
+		if id := sw.Header().Get("X-Macs-Trace"); id != "" {
+			attrs = append(attrs, "trace", id)
+		}
+		log.Info("http", attrs...)
 	})
 }

@@ -4,25 +4,33 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"macs/internal/obs"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
-// latency histogram buckets; an implicit +Inf bucket follows.
+// endpoint latency histogram buckets; an implicit +Inf bucket follows.
 var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// stageBucketsMS bound the per-stage histograms: pipeline stages run in
+// microseconds to low milliseconds, an order of magnitude under whole
+// requests, so they get their own finer scale.
+var stageBucketsMS = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250}
 
 // histogram is a fixed-bucket latency histogram in milliseconds.
 type histogram struct {
-	counts []int64 // len(latencyBucketsMS)+1, last is +Inf
-	sumMS  float64
-	maxMS  float64
+	buckets []float64 // upper bounds; an implicit +Inf bucket follows
+	counts  []int64   // len(buckets)+1, last is +Inf
+	sumMS   float64
+	maxMS   float64
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]int64, len(latencyBucketsMS)+1)}
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]int64, len(buckets)+1)}
 }
 
 func (h *histogram) observe(ms float64) {
-	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	i := sort.SearchFloat64s(h.buckets, ms)
 	h.counts[i]++
 	h.sumMS += ms
 	if ms > h.maxMS {
@@ -31,13 +39,20 @@ func (h *histogram) observe(ms float64) {
 }
 
 // Metrics collects per-endpoint request counters and latency
-// distributions. Cache, queue and dedup figures live on their owners and
+// distributions, per-stage pipeline latency distributions, and per-item
+// batch outcomes. Cache, queue and dedup figures live on their owners and
 // are merged into the Snapshot by the Service.
 type Metrics struct {
 	start time.Time
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
+	stages    map[string]*stageMetrics
+	// batchItems counts individual batch items by outcome ("ok",
+	// "cached", "error") — batch items do not inflate the per-endpoint
+	// request counters with a second label dimension; they get their own
+	// family instead.
+	batchItems map[string]int64
 }
 
 type endpointMetrics struct {
@@ -46,9 +61,19 @@ type endpointMetrics struct {
 	hist   *histogram
 }
 
+type stageMetrics struct {
+	count int64
+	hist  *histogram
+}
+
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics)}
+	return &Metrics{
+		start:      time.Now(),
+		endpoints:  make(map[string]*endpointMetrics),
+		stages:     make(map[string]*stageMetrics),
+		batchItems: make(map[string]int64),
+	}
 }
 
 // Observe records one finished request against endpoint.
@@ -57,7 +82,7 @@ func (m *Metrics) Observe(endpoint string, d time.Duration, failed bool) {
 	defer m.mu.Unlock()
 	e, ok := m.endpoints[endpoint]
 	if !ok {
-		e = &endpointMetrics{hist: newHistogram()}
+		e = &endpointMetrics{hist: newHistogram(latencyBucketsMS)}
 		m.endpoints[endpoint] = e
 	}
 	e.count++
@@ -65,6 +90,28 @@ func (m *Metrics) Observe(endpoint string, d time.Duration, failed bool) {
 		e.errors++
 	}
 	e.hist.observe(float64(d) / float64(time.Millisecond))
+}
+
+// ObserveStage folds one pipeline stage duration (from a request trace's
+// span records) into the per-stage latency histograms.
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.stages[stage]
+	if !ok {
+		st = &stageMetrics{hist: newHistogram(stageBucketsMS)}
+		m.stages[stage] = st
+	}
+	st.count++
+	st.hist.observe(float64(d) / float64(time.Millisecond))
+}
+
+// ObserveBatchItem records the outcome of one item of a batch request
+// ("ok", "cached" or "error").
+func (m *Metrics) ObserveBatchItem(outcome string) {
+	m.mu.Lock()
+	m.batchItems[outcome]++
+	m.mu.Unlock()
 }
 
 // BucketCount is one cumulative histogram bucket: requests that finished
@@ -92,8 +139,16 @@ type EndpointSnapshot struct {
 type Snapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
-	Cache         CacheStats                  `json:"cache"`
-	Queue         PoolStats                   `json:"queue"`
+	// Stages breaks request latency down by pipeline stage (compile,
+	// verify, bound, load, prime, simulate, predict, cache-lookup, ...),
+	// folded from request traces' span records.
+	Stages map[string]StageSnapshot `json:"stages,omitempty"`
+	// BatchItems counts individual batch items by outcome ("ok",
+	// "cached", "error") — the per-endpoint counters see one "batch"
+	// request regardless of item count.
+	BatchItems map[string]int64 `json:"batch_items,omitempty"`
+	Cache      CacheStats       `json:"cache"`
+	Queue      PoolStats        `json:"queue"`
 	// DedupShared counts requests that attached to another request's
 	// in-flight computation instead of starting their own.
 	DedupShared int64 `json:"dedup_shared"`
@@ -112,6 +167,18 @@ type Snapshot struct {
 	// Persistent reports the disk-backed second-level cache; all-zero
 	// (Enabled false) when the service runs memory-only.
 	Persistent DiskCacheStats `json:"persistent_cache"`
+	// SimCycles is the total number of simulated clock cycles executed by
+	// fresh pipeline runs (cache hits replay no cycles).
+	SimCycles int64 `json:"sim_cycles"`
+	// Runtime is the most recent Go-runtime sample; zero (SampledAt unset)
+	// when the sampler is off (Config.RuntimeSample == 0).
+	Runtime obs.RuntimeStats `json:"runtime,omitempty"`
+}
+
+// StageSnapshot is one pipeline stage's latency distribution.
+type StageSnapshot struct {
+	Count   int64           `json:"count"`
+	Latency LatencySnapshot `json:"latency"`
 }
 
 // FastTierStats is the fast_tier section of /metrics.
@@ -144,26 +211,65 @@ type SimPoolStats struct {
 	Recycled int64 `json:"recycled"`
 }
 
+// latencySnapshot renders one histogram's distribution summary.
+func latencySnapshot(h *histogram, count int64) LatencySnapshot {
+	ls := LatencySnapshot{MaxMS: h.maxMS}
+	if count > 0 {
+		ls.MeanMS = h.sumMS / float64(count)
+	}
+	var cum int64
+	for i, n := range h.counts {
+		cum += n
+		le := -1.0 // +Inf
+		if i < len(h.buckets) {
+			le = h.buckets[i]
+		}
+		ls.Buckets = append(ls.Buckets, BucketCount{LEMS: le, Count: cum})
+	}
+	return ls
+}
+
 // snapshotEndpoints renders the per-endpoint section.
 func (m *Metrics) snapshotEndpoints() map[string]EndpointSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make(map[string]EndpointSnapshot, len(m.endpoints))
 	for name, e := range m.endpoints {
-		ls := LatencySnapshot{MaxMS: e.hist.maxMS}
-		if e.count > 0 {
-			ls.MeanMS = e.hist.sumMS / float64(e.count)
+		out[name] = EndpointSnapshot{
+			Count:   e.count,
+			Errors:  e.errors,
+			Latency: latencySnapshot(e.hist, e.count),
 		}
-		var cum int64
-		for i, n := range e.hist.counts {
-			cum += n
-			le := -1.0 // +Inf
-			if i < len(latencyBucketsMS) {
-				le = latencyBucketsMS[i]
-			}
-			ls.Buckets = append(ls.Buckets, BucketCount{LEMS: le, Count: cum})
-		}
-		out[name] = EndpointSnapshot{Count: e.count, Errors: e.errors, Latency: ls}
+	}
+	return out
+}
+
+// snapshotStages renders the per-stage section; nil before the first
+// traced request.
+func (m *Metrics) snapshotStages() map[string]StageSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.stages) == 0 {
+		return nil
+	}
+	out := make(map[string]StageSnapshot, len(m.stages))
+	for name, st := range m.stages {
+		out[name] = StageSnapshot{Count: st.count, Latency: latencySnapshot(st.hist, st.count)}
+	}
+	return out
+}
+
+// snapshotBatchItems renders the batch-item outcome counters; nil before
+// the first batch request.
+func (m *Metrics) snapshotBatchItems() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.batchItems) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(m.batchItems))
+	for k, v := range m.batchItems {
+		out[k] = v
 	}
 	return out
 }

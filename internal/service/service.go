@@ -23,6 +23,7 @@ import (
 
 	"macs"
 	"macs/internal/compiler"
+	"macs/internal/obs"
 )
 
 // Config sizes the service. Zero fields take the Default values.
@@ -49,6 +50,13 @@ type Config struct {
 	// DefaultTier serves analyze requests that do not name a tier:
 	// "exact" (empty), "fast" or "auto".
 	DefaultTier string
+	// RuntimeSample, when > 0, starts a periodic Go-runtime sampler (heap,
+	// GC, goroutines) at that interval and surfaces the latest sample on
+	// /metrics in both formats. Zero leaves the sampler off.
+	RuntimeSample time.Duration
+	// TraceKeep bounds how many completed request traces are retained for
+	// GET /v1/trace/{id}; 0 takes the default (128).
+	TraceKeep int
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -56,16 +64,29 @@ type Config struct {
 // DefaultConfig returns production-shaped defaults: one worker per CPU,
 // a queue twice as deep, and the paper's C-240 model configuration.
 func DefaultConfig() Config {
+	vmCfg := macs.DefaultVMConfig()
+	// A bounded trace ring keeps the most recent vector timing events of
+	// every run so traced requests can merge simulator lanes into their
+	// timeline; the ring is cheap enough to leave on unconditionally.
+	vmCfg.TraceRing = defaultTraceRing
 	return Config{
 		Workers:        runtime.NumCPU(),
 		QueueSize:      2 * runtime.NumCPU(),
 		CacheSize:      512,
 		RequestTimeout: 30 * time.Second,
 		Compiler:       macs.DefaultCompilerOptions(),
-		VM:             macs.DefaultVMConfig(),
+		VM:             vmCfg,
 		Rules:          macs.DefaultRules(),
+		TraceKeep:      defaultTraceKeep,
 	}
 }
+
+const (
+	// defaultTraceRing bounds the per-run vector timing event buffer.
+	defaultTraceRing = 4096
+	// defaultTraceKeep bounds the completed-trace store.
+	defaultTraceKeep = 128
+)
 
 func (c Config) withDefaults() Config {
 	d := DefaultConfig()
@@ -80,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.TraceKeep <= 0 {
+		c.TraceKeep = d.TraceKeep
 	}
 	if c.Compiler == (macs.CompilerOptions{}) {
 		c.Compiler = d.Compiler
@@ -136,6 +160,9 @@ func mergeVMDefaults(c, d macs.VMConfig) macs.VMConfig {
 	if c.MaxInstrs == 0 {
 		c.MaxInstrs = d.MaxInstrs
 	}
+	if c.TraceRing == 0 && !c.Trace {
+		c.TraceRing = d.TraceRing
+	}
 	return c
 }
 
@@ -181,6 +208,19 @@ type Service struct {
 
 	dedupShared  atomic.Int64
 	pipelineRuns atomic.Int64
+	// simCycles totals the simulated clock cycles of every fresh exact
+	// run; cache hits replay no cycles and add nothing.
+	simCycles atomic.Int64
+
+	// sampler periodically snapshots the Go runtime when
+	// Config.RuntimeSample > 0; nil otherwise.
+	sampler *obs.RuntimeSampler
+
+	// traceMu guards traces, a bounded FIFO of completed request traces
+	// keyed for GET /v1/trace/{id}.
+	traceMu    sync.Mutex
+	traces     map[string]obs.TraceView
+	traceOrder []string
 
 	// attrMu guards attrTotals, the service-wide aggregate of simulated
 	// stall-attribution cycles by cause (plus "issue"), summed over every
@@ -205,6 +245,10 @@ func New(cfg Config) *Service {
 		flights:    make(map[Key]*flight),
 		fastTier:   newFastTierTracker(),
 		attrTotals: make(map[string]int64),
+		traces:     make(map[string]obs.TraceView),
+	}
+	if cfg.RuntimeSample > 0 {
+		s.sampler = obs.StartRuntimeSampler(cfg.RuntimeSample)
 	}
 	if cfg.CacheDir != "" {
 		fp, err := configFingerprint(cfg)
@@ -274,6 +318,41 @@ func (s *Service) Close() {
 	if s.disk != nil {
 		s.disk.Close()
 	}
+	s.sampler.Stop() // nil-safe
+}
+
+// finishTrace folds a completed request trace into the per-stage latency
+// histograms and retains its snapshot for GET /v1/trace/{id}, evicting
+// the oldest once TraceKeep is exceeded.
+func (s *Service) finishTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	for stage, d := range tr.StageDurations() {
+		s.metrics.ObserveStage(stage, d)
+	}
+	v := tr.View()
+	if v.ID == "" {
+		return
+	}
+	s.traceMu.Lock()
+	if _, ok := s.traces[v.ID]; !ok {
+		s.traceOrder = append(s.traceOrder, v.ID)
+	}
+	s.traces[v.ID] = v
+	for len(s.traceOrder) > s.cfg.TraceKeep {
+		delete(s.traces, s.traceOrder[0])
+		s.traceOrder = s.traceOrder[1:]
+	}
+	s.traceMu.Unlock()
+}
+
+// TraceByID returns the retained snapshot of one completed request trace.
+func (s *Service) TraceByID(id string) (obs.TraceView, bool) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	v, ok := s.traces[id]
+	return v, ok
 }
 
 // acceptGate rejects work arriving after Close flipped the closed flag.
@@ -295,6 +374,8 @@ func (s *Service) Metrics() Snapshot {
 	return Snapshot{
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		Endpoints:     s.metrics.snapshotEndpoints(),
+		Stages:        s.metrics.snapshotStages(),
+		BatchItems:    s.metrics.snapshotBatchItems(),
 		Cache:         s.cache.Stats(),
 		Queue:         s.pool.Stats(),
 		DedupShared:   s.dedupShared.Load(),
@@ -303,6 +384,8 @@ func (s *Service) Metrics() Snapshot {
 		SimPool:       s.simPool(),
 		FastTier:      s.fastTier.snapshot(),
 		Persistent:    s.diskStats(),
+		SimCycles:     s.simCycles.Load(),
+		Runtime:       s.sampler.Stats(), // nil-safe: zero when off
 	}
 }
 
@@ -348,10 +431,16 @@ func decodeJSON[T any]() decodeFunc {
 // it so replayed requests are not double-counted. dec may be nil for
 // results that should not persist.
 func (s *Service) do(ctx context.Context, key Key, dec decodeFunc, fn func() (any, error)) (any, bool, bool, error) {
-	if v, ok := s.cache.Get(key); ok {
+	_, sp := obs.Start(ctx, "cache-lookup")
+	v, hit := s.cache.Get(key)
+	sp.End()
+	if hit {
 		return v, true, false, nil
 	}
-	if v, ok := s.diskGet(key, dec); ok {
+	_, sp = obs.Start(ctx, "disk-lookup")
+	v, hit = s.diskGet(key, dec)
+	sp.End()
+	if hit {
 		s.cache.Put(key, v)
 		return v, true, false, nil
 	}
@@ -361,7 +450,9 @@ func (s *Service) do(ctx context.Context, key Key, dec decodeFunc, fn func() (an
 		f.waiters++
 		s.mu.Unlock()
 		s.dedupShared.Add(1)
+		_, sp = obs.Start(ctx, "singleflight-wait")
 		v, err := s.wait(ctx, f)
+		sp.End()
 		return v, false, false, err
 	}
 	// Lead a new flight. Its context is detached from this request so a
@@ -408,7 +499,13 @@ func (s *Service) do(ctx context.Context, key Key, dec decodeFunc, fn func() (an
 		close(f.done)
 		return nil, false, false, err
 	}
-	v, err := s.wait(ctx, f)
+	// The flight-wait span covers queue time plus compute time as seen by
+	// the leading request; the compute closure's own stage spans nest as
+	// siblings under the same root (the flight context snapshot predates
+	// this span).
+	_, sp = obs.Start(ctx, "flight-wait")
+	v, err = s.wait(ctx, f)
+	sp.End()
 	if err != nil {
 		// executed must not be read here: on a waiter timeout the worker
 		// may still be writing it. A successful wait happens-after the
@@ -635,6 +732,10 @@ type AnalyzeResponse struct {
 	// Cached reports whether this response was served from the result
 	// cache rather than a fresh pipeline execution.
 	Cached bool `json:"cached"`
+	// Trace is the request's span/lane snapshot, filled only when the
+	// caller asked for it (?trace=1). It is attached after the cache copy,
+	// so cached entries never carry a stale trace.
+	Trace *obs.TraceView `json:"trace,omitempty"`
 }
 
 // Analyze runs (or recalls) the pipeline for one kernel source, under
@@ -673,11 +774,15 @@ func (s *Service) analyzeExact(ctx context.Context, req AnalyzeRequest) (Analyze
 		return AnalyzeResponse{}, err
 	}
 	v, cached, _, err := s.do(ctx, key, decodeJSON[AnalyzeResponse](), func() (any, error) {
-		res, err := s.analyzer.AnalyzeSource(req.Source, req.Iterations, req.Prime.primeFunc())
+		// The request context rides into the closure for its trace values
+		// only; cancellation is governed by the flight context the worker
+		// checks before calling this.
+		res, err := s.analyzer.AnalyzeSourceCtx(ctx, req.Source, req.Iterations, req.Prime.primeFunc())
 		if err != nil {
 			return nil, err
 		}
 		s.recordAttr(res.Stats.Attr)
+		s.simCycles.Add(res.Stats.Cycles)
 		return &AnalyzeResponse{
 			Tier:        macs.TierExact.String(),
 			Bounds:      boundsView(res.Analysis),
@@ -721,7 +826,7 @@ func (s *Service) Bound(ctx context.Context, req BoundRequest) (BoundResponse, e
 		return BoundResponse{}, err
 	}
 	v, cached, _, err := s.do(ctx, key, decodeJSON[BoundResponse](), func() (any, error) {
-		a, err := macs.BoundSource(req.Source)
+		a, err := macs.BoundSourceCtx(ctx, req.Source)
 		if err != nil {
 			return nil, err
 		}

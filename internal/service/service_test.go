@@ -209,9 +209,13 @@ func TestWithDefaultsPartialVMConfig(t *testing.T) {
 	}
 
 	// A fully zero VM config still takes the defaults wholesale,
-	// including the default-true booleans.
-	if def := (Config{}).withDefaults().VM; def != d {
-		t.Fatalf("zero VM config = %+v, want defaults %+v", def, d)
+	// including the default-true booleans — plus the service's bounded
+	// trace ring, which the serving layer enables on top of the facade's
+	// defaults so traced requests can merge simulator lanes.
+	want := d
+	want.TraceRing = defaultTraceRing
+	if def := (Config{}).withDefaults().VM; def != want {
+		t.Fatalf("zero VM config = %+v, want defaults %+v", def, want)
 	}
 
 	// The partially-configured service actually works end to end.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"macs/internal/isa"
+	"macs/internal/obs"
 )
 
 // traceRing is a bounded ring buffer of TraceEvents: cheap always-on
@@ -75,6 +76,37 @@ func (c *CPU) TraceDropped() int64 {
 		return 0
 	}
 	return c.ring.dropped
+}
+
+// LaneEvents converts vector timing events into the generic per-lane
+// shape the observability layer's merged Chrome export takes: one row
+// per VP pipe, one interval per vector instruction (stream entry to last
+// element), timestamps in clock cycles. The args mirror ChromeTrace's.
+func LaneEvents(events []TraceEvent) []obs.LaneEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]obs.LaneEvent, 0, len(events))
+	for _, e := range events {
+		dur := e.Finish - e.Start
+		if dur <= 0 {
+			dur = 1
+		}
+		out = append(out, obs.LaneEvent{
+			Lane:  fmt.Sprintf("%s pipe", e.Instr.Pipe()),
+			Name:  e.Instr.String(),
+			Start: e.Start,
+			Dur:   dur,
+			Args: map[string]any{
+				"chime":        e.Chime,
+				"vl":           e.VL,
+				"stall":        e.Stall,
+				"dispatch":     e.Dispatch,
+				"first_result": e.FirstResult,
+			},
+		})
+	}
+	return out
 }
 
 // chromeEvent is one entry of the Chrome trace_event format ("X" complete

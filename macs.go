@@ -36,6 +36,7 @@
 package macs
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -50,6 +51,7 @@ import (
 	"macs/internal/fasttier"
 	"macs/internal/ftn"
 	"macs/internal/lfk"
+	"macs/internal/obs"
 	"macs/internal/vectorize"
 	"macs/internal/verify"
 	"macs/internal/vm"
@@ -234,44 +236,67 @@ type Result struct {
 
 // boundSource compiles src and computes the MA/MAC/MACS hierarchy of its
 // inner loop under the given configuration. It is the shared front half
-// of BoundSource and AnalyzeSource.
-func boundSource(src string, opts CompilerOptions, vl int, rules Rules) (*Program, Analysis, error) {
+// of BoundSource and AnalyzeSource. The compile, verify and bound stages
+// each record a span on the trace riding ctx (no-ops when none does).
+func boundSource(ctx context.Context, src string, opts CompilerOptions, vl int, rules Rules) (*Program, Analysis, error) {
 	var a Analysis
+	_, sp := obs.Start(ctx, "compile")
 	prog, err := compiler.Compile(src, opts)
+	sp.End()
 	if err != nil {
 		return nil, a, err
 	}
-	if err := verify.Must(prog); err != nil {
-		return prog, a, err
-	}
-	parsed, err := ftn.Parse(src)
+	_, sp = obs.Start(ctx, "verify")
+	err = verify.Must(prog)
+	sp.End()
 	if err != nil {
 		return prog, a, err
+	}
+	_, sp = obs.Start(ctx, "bound")
+	a, err = boundProgram(src, prog, vl, rules)
+	sp.End()
+	return prog, a, err
+}
+
+// boundProgram is the model half of boundSource: MA workload from the
+// source, chime partition from the compiled loop, critical path from the
+// dependence graph.
+func boundProgram(src string, prog *Program, vl int, rules Rules) (Analysis, error) {
+	var a Analysis
+	parsed, err := ftn.Parse(src)
+	if err != nil {
+		return a, err
 	}
 	loopStmt, ok := compiler.InnerLoop(parsed)
 	if !ok {
-		return prog, a, fmt.Errorf("macs: source has no DO loop")
+		return a, fmt.Errorf("macs: source has no DO loop")
 	}
 	ma, err := vectorize.MAWorkload(parsed, loopStmt)
 	if err != nil {
-		return prog, a, err
+		return a, err
 	}
 	loop, ok := asm.InnerVectorLoop(prog)
 	if !ok {
-		return prog, a, fmt.Errorf("macs: compiled code has no vectorized inner loop")
+		return a, fmt.Errorf("macs: compiled code has no vectorized inner loop")
 	}
 	a = core.Analyze(ma, loop.Body, vl, rules)
 	if cp, _, ok := depgraph.Analyze(prog, vl, depgraph.DefaultParams()); ok {
 		a.TCP = cp.CPL
 	}
-	return prog, a, nil
+	return a, nil
 }
 
 // BoundSource compiles src and computes the MA/MAC/MACS bounds hierarchy
 // of its inner loop without running the simulator — the cheap half of
 // AnalyzeSource, for callers that only want the model.
 func BoundSource(src string) (Analysis, error) {
-	_, a, err := boundSource(src, compiler.DefaultOptions(), vm.DefaultConfig().VLMax, core.DefaultRules())
+	return BoundSourceCtx(context.Background(), src)
+}
+
+// BoundSourceCtx is BoundSource under a context: stage spans (compile,
+// verify, bound) are recorded on the trace riding ctx, if any.
+func BoundSourceCtx(ctx context.Context, src string) (Analysis, error) {
+	_, a, err := boundSource(ctx, src, compiler.DefaultOptions(), vm.DefaultConfig().VLMax, core.DefaultRules())
 	return a, err
 }
 
@@ -290,33 +315,53 @@ func AnalyzeSource(src string, iterations int64, prime func(*CPU) error) (Result
 // builds a fresh simulator; callers on a hot path should hold an Analyzer
 // instead, which recycles simulator state through a pool.
 func AnalyzeSourceVM(src string, iterations int64, cfg VMConfig, prime func(*CPU) error) (Result, error) {
-	return analyzeOn(vm.New(cfg), src, iterations, cfg, prime)
+	return AnalyzeSourceVMCtx(context.Background(), src, iterations, cfg, prime)
+}
+
+// AnalyzeSourceVMCtx is AnalyzeSourceVM under a context: every pipeline
+// stage (compile, verify, bound, load, prime, simulate) records a span on
+// the trace riding ctx, and the run's vector timing events are attached
+// to the trace as simulator lanes. Without a trace on ctx the overhead is
+// a handful of nil checks.
+func AnalyzeSourceVMCtx(ctx context.Context, src string, iterations int64, cfg VMConfig, prime func(*CPU) error) (Result, error) {
+	return analyzeOn(ctx, vm.New(cfg), src, iterations, cfg, prime)
 }
 
 // analyzeOn runs the full pipeline on a ready (fresh or pooled-and-reset)
 // simulator: the shared back half of AnalyzeSourceVM and
 // Analyzer.AnalyzeSource.
-func analyzeOn(cpu *vm.CPU, src string, iterations int64, cfg VMConfig, prime func(*CPU) error) (Result, error) {
+func analyzeOn(ctx context.Context, cpu *vm.CPU, src string, iterations int64, cfg VMConfig, prime func(*CPU) error) (Result, error) {
 	var res Result
-	prog, a, err := boundSource(src, compiler.DefaultOptions(), cfg.VLMax, cfg.Rules)
+	prog, a, err := boundSource(ctx, src, compiler.DefaultOptions(), cfg.VLMax, cfg.Rules)
 	res.Program = prog
 	if err != nil {
 		return res, err
 	}
 	res.Analysis = a
-	if err := cpu.Load(prog); err != nil {
-		return res, err
-	}
-	if prime != nil {
-		if err := prime(cpu); err != nil {
-			return res, err
-		}
-	}
-	res.Stats, err = cpu.Run()
+	_, sp := obs.Start(ctx, "load")
+	err = cpu.Load(prog)
+	sp.End()
 	if err != nil {
 		return res, err
 	}
+	if prime != nil {
+		_, sp = obs.Start(ctx, "prime")
+		err = prime(cpu)
+		sp.End()
+		if err != nil {
+			return res, err
+		}
+	}
+	_, sim := obs.Start(ctx, "simulate")
+	res.Stats, err = cpu.Run()
 	res.Trace = cpu.TraceEvents()
+	if tr := obs.FromContext(ctx); tr != nil && len(res.Trace) > 0 {
+		tr.AddLanes(sim, vm.LaneEvents(res.Trace))
+	}
+	sim.End()
+	if err != nil {
+		return res, err
+	}
 	res.Iterations = iterations
 	if iterations > 0 {
 		res.MeasuredCPL = float64(res.Stats.Cycles) / float64(iterations)
@@ -352,9 +397,19 @@ func (a *Analyzer) Config() VMConfig { return a.cfg }
 // pooled simulator. Results are identical to AnalyzeSourceVM with the
 // analyzer's configuration (the fast-path differential tests gate on it).
 func (a *Analyzer) AnalyzeSource(src string, iterations int64, prime func(*CPU) error) (Result, error) {
+	return a.AnalyzeSourceCtx(context.Background(), src, iterations, prime)
+}
+
+// AnalyzeSourceCtx is AnalyzeSource under a context: stage spans (plus a
+// pool-checkout span covering simulator acquisition) land on the trace
+// riding ctx, and the run's vector timing events are attached as
+// simulator lanes.
+func (a *Analyzer) AnalyzeSourceCtx(ctx context.Context, src string, iterations int64, prime func(*CPU) error) (Result, error) {
+	_, sp := obs.Start(ctx, "pool-checkout")
 	cpu := a.pool.Get()
+	sp.End()
 	defer a.pool.Put(cpu)
-	return analyzeOn(cpu, src, iterations, a.cfg, prime)
+	return analyzeOn(ctx, cpu, src, iterations, a.cfg, prime)
 }
 
 // PoolStats reports the analyzer pool's created and recycled CPU counts.
@@ -409,15 +464,23 @@ func calibLabel(p Prediction) string {
 // CPL. Programs whose timing depends on unmodeled data return
 // ErrDataDependent (wrapped) — fall back to AnalyzeSource.
 func (a *Analyzer) PredictSource(src string, iterations int64, ints map[string]int64) (FastResult, error) {
+	return a.PredictSourceCtx(context.Background(), src, iterations, ints)
+}
+
+// PredictSourceCtx is PredictSource under a context: the compile, verify
+// and bound stages plus a "predict" span land on the trace riding ctx.
+func (a *Analyzer) PredictSourceCtx(ctx context.Context, src string, iterations int64, ints map[string]int64) (FastResult, error) {
 	var res FastResult
-	prog, an, err := boundSource(src, compiler.DefaultOptions(), a.cfg.VLMax, a.cfg.Rules)
+	prog, an, err := boundSource(ctx, src, compiler.DefaultOptions(), a.cfg.VLMax, a.cfg.Rules)
 	res.Program = prog
 	if err != nil {
 		return res, err
 	}
 	res.Analysis = an
 	res.Iterations = iterations
+	_, sp := obs.Start(ctx, "predict")
 	res.Prediction, err = a.pred.Predict(prog, iterations, ints)
+	sp.End()
 	return res, err
 }
 
@@ -428,15 +491,24 @@ func (a *Analyzer) PredictSource(src string, iterations int64, ints map[string]i
 // guaranteed to land inside). Programs whose data-dependent control flow
 // is not boundedly enumerable still return ErrDataDependent (wrapped).
 func (a *Analyzer) PredictSourceInterval(src string, iterations int64, ints map[string]int64) (FastResult, error) {
+	return a.PredictSourceIntervalCtx(context.Background(), src, iterations, ints)
+}
+
+// PredictSourceIntervalCtx is PredictSourceInterval under a context: the
+// compile, verify and bound stages plus a "predict-interval" span land on
+// the trace riding ctx.
+func (a *Analyzer) PredictSourceIntervalCtx(ctx context.Context, src string, iterations int64, ints map[string]int64) (FastResult, error) {
 	var res FastResult
-	prog, an, err := boundSource(src, compiler.DefaultOptions(), a.cfg.VLMax, a.cfg.Rules)
+	prog, an, err := boundSource(ctx, src, compiler.DefaultOptions(), a.cfg.VLMax, a.cfg.Rules)
 	res.Program = prog
 	if err != nil {
 		return res, err
 	}
 	res.Analysis = an
 	res.Iterations = iterations
+	_, sp := obs.Start(ctx, "predict-interval")
 	res.Prediction, err = a.pred.PredictInterval(prog, iterations, ints)
+	sp.End()
 	return res, err
 }
 
@@ -444,7 +516,7 @@ func (a *Analyzer) PredictSourceInterval(src string, iterations int64, ints map[
 // simulator configuration's machine parameters.
 func PredictSource(src string, iterations int64, cfg VMConfig, ints map[string]int64) (FastResult, error) {
 	var res FastResult
-	prog, an, err := boundSource(src, compiler.DefaultOptions(), cfg.VLMax, cfg.Rules)
+	prog, an, err := boundSource(context.Background(), src, compiler.DefaultOptions(), cfg.VLMax, cfg.Rules)
 	res.Program = prog
 	if err != nil {
 		return res, err
@@ -458,6 +530,12 @@ func PredictSource(src string, iterations int64, cfg VMConfig, ints map[string]i
 // ChromeTrace renders vector timing events (Result.Trace) as a Chrome
 // trace_event JSON document for chrome://tracing or Perfetto.
 func ChromeTrace(events []TraceEvent) ([]byte, error) { return vm.ChromeTrace(events) }
+
+// LaneEvents converts vector timing events into the generic per-lane
+// shape obs.ChromeTrace merges with pipeline spans — use it to attach a
+// run's Result.Trace to an obs.Trace by hand; the Ctx entry points do
+// this automatically.
+func LaneEvents(events []TraceEvent) []obs.LaneEvent { return vm.LaneEvents(events) }
 
 // Report renders the hierarchy of one Result as text.
 func (r Result) Report() string {
