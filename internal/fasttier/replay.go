@@ -104,12 +104,33 @@ func newReplay(cfg Config) *replay {
 		unknownCells: make(map[int64]bool),
 		builder:      core.NewChimeBuilder(cfg.Rules),
 	}
-	r.bankCfg = mem.DefaultConfig()
-	r.bankCfg.RefreshEnabled = cfg.RefreshStalls
+	r.bankCfg = cfg.bankConfig()
 	if cfg.BankConflicts || cfg.RefreshStalls {
 		r.stallTab = mem.NewStallTable(r.bankCfg)
 	}
 	return r
+}
+
+// bankConfig renders the fast tier's memory geometry as the bank model's
+// configuration, with zero fields falling back to the C-240 defaults —
+// the same convention as vm.Machine.BankConfig, so both tiers describe
+// the same memory system for the same machine.
+func (cfg Config) bankConfig() mem.Config {
+	c := mem.DefaultConfig()
+	if cfg.Banks > 0 {
+		c.Banks = cfg.Banks
+	}
+	if cfg.BankCycle > 0 {
+		c.BankCycle = cfg.BankCycle
+	}
+	if cfg.RefreshPeriod > 0 {
+		c.RefreshPeriod = cfg.RefreshPeriod
+	}
+	if cfg.RefreshLen > 0 {
+		c.RefreshLen = cfg.RefreshLen
+	}
+	c.RefreshEnabled = cfg.RefreshStalls
+	return c
 }
 
 // reset prepares the replayer for the next prediction. The memoized

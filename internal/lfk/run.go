@@ -91,6 +91,15 @@ func (k *Kernel) DataInts() map[string]int64 {
 	return out
 }
 
+// PrimeFunc returns a priming callback that writes the kernel's input
+// scalars and arrays into any simulator that already has the kernel's
+// program loaded — the shape macs.AnalyzeSourceVM and the explore
+// engine's Request.Prime take.
+func (k *Kernel) PrimeFunc() func(*vm.CPU) error {
+	c := &Compiled{Kernel: k}
+	return c.PrimeData
+}
+
 // Run executes the primed kernel and returns the simulator statistics.
 func (c *Compiled) Run(cfg vm.Config) (vm.Stats, *vm.CPU, error) {
 	cpu, err := c.NewCPU(cfg)

@@ -1,0 +1,135 @@
+package macsvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// checkFingerprint enforces the machine-description hashing contract:
+// every field of vm.Machine must be written into the hash by its
+// Fingerprint method. Fingerprint is the one keying scheme shared by the
+// persistent result cache, the fast-tier prediction memo and the explore
+// engine's per-machine state — a field added to Machine but not to the
+// hash makes two different machines collide, and a stale cache entry or
+// memoized schedule silently answers for the wrong hardware. The rule
+// requires each field name to appear as a selector on the method's
+// receiver somewhere in the body; it is a no-op for modules whose
+// internal/vm declares no Machine struct (test fixtures).
+func checkFingerprint(m *Module) []Finding {
+	vm := m.Pkgs[m.Path+"/internal/vm"]
+	if vm == nil {
+		return nil
+	}
+	st, stPos := findStruct(vm, "Machine")
+	if st == nil {
+		return nil
+	}
+	var fields []string
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			// Embedded field: its promoted name is the type's base name.
+			fields = append(fields, embeddedName(f.Type))
+			continue
+		}
+		for _, n := range f.Names {
+			fields = append(fields, n.Name)
+		}
+	}
+	fn := findMethod(vm, "Machine", "Fingerprint")
+	if fn == nil {
+		return []Finding{{Pos: m.Fset.Position(stPos), Rule: "fingerprint",
+			Message: "vm.Machine has no Fingerprint method; machine-keyed caches have lost their canonical key"}}
+	}
+	recv := receiverName(fn)
+	covered := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			covered[sel.Sel.Name] = true
+		}
+		return true
+	})
+	var missing []string
+	for _, f := range fields {
+		if !covered[f] {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) > 0 {
+		return []Finding{{Pos: m.Fset.Position(fn.Pos()), Rule: "fingerprint",
+			Message: fmt.Sprintf("Fingerprint does not hash Machine field(s) %s; machines differing only there would share one cache key",
+				strings.Join(missing, ", "))}}
+	}
+	return nil
+}
+
+// findStruct returns the named struct type declared in p, or nil.
+func findStruct(p *Pkg, name string) (*ast.StructType, token.Pos) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st, ts.Pos()
+				}
+			}
+		}
+	}
+	return nil, token.NoPos
+}
+
+// findMethod returns the declaration of recvType's named method in p
+// (value or pointer receiver), or nil.
+func findMethod(p *Pkg, recvType, name string) *ast.FuncDecl {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != name || len(fd.Recv.List) != 1 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == recvType {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// receiverName returns the method's receiver identifier ("" for a blank
+// or anonymous receiver — then nothing can be covered, which is correct:
+// such a Fingerprint reads no fields).
+func receiverName(fn *ast.FuncDecl) string {
+	if len(fn.Recv.List[0].Names) == 1 {
+		return fn.Recv.List[0].Names[0].Name
+	}
+	return ""
+}
+
+// embeddedName returns the promoted field name of an embedded type.
+func embeddedName(t ast.Expr) string {
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

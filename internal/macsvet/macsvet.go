@@ -31,6 +31,11 @@
 //     named Must* are exempt: they are documented test-only helpers.
 //   - musttest: module-internal Must* helpers that panic may only be
 //     called from _test.go files (or from other Must* helpers).
+//   - fingerprint: every field of vm.Machine is written into the hash
+//     by its Fingerprint method — the canonical key shared by the
+//     persistent result cache, the fast-tier prediction memo and the
+//     explore engine — so a machine knob cannot be added without
+//     invalidating caches that depend on it.
 //   - spanend: every *obs.Span started via obs.Start in the facade
 //     (package macs) or in internal/service is ended in the statement
 //     list that started it, before any statement that can return out of
@@ -196,6 +201,7 @@ func Run(root string) ([]Finding, error) {
 	fs = append(fs, checkISATiming(m)...)
 	fs = append(fs, checkTierMap(m)...)
 	fs = append(fs, checkDepGraph(m)...)
+	fs = append(fs, checkFingerprint(m)...)
 	fs = append(fs, checkPanics(m)...)
 	fs = append(fs, checkMustCalls(m)...)
 	fs = append(fs, checkSpanEnd(m)...)

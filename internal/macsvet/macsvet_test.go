@@ -128,11 +128,34 @@ func TestDepGraphRule(t *testing.T) {
 	}
 }
 
+// TestFingerprintRule pins the fingerprint rule: a vm.Machine whose
+// Fingerprint method skips fields — including an embedded one — is one
+// finding naming every missing field.
+func TestFingerprintRule(t *testing.T) {
+	fs, err := Run(filepath.Join("testdata", "src", "fpbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1:\n%v", len(fs), fs)
+	}
+	f := fs[0]
+	if f.Rule != "fingerprint" {
+		t.Fatalf("rule = %s, want fingerprint", f.Rule)
+	}
+	if !strings.HasSuffix(filepath.ToSlash(f.Pos.Filename), "internal/vm/machine.go") {
+		t.Errorf("finding in %s, want internal/vm/machine.go", f.Pos.Filename)
+	}
+	if !strings.Contains(f.Message, "MemSlowdown, Geometry") {
+		t.Errorf("message = %q, want the missing fields MemSlowdown, Geometry", f.Message)
+	}
+}
+
 // TestFindingsCarryPositions: every finding from every fixture anchors
 // to a real file:line — the CLI prints file:line:col: rule: message, and
 // token.NoPos would render as "-", breaking that contract.
 func TestFindingsCarryPositions(t *testing.T) {
-	for _, fixture := range []string{"fixture", "tiermiss", "depbad"} {
+	for _, fixture := range []string{"fixture", "tiermiss", "depbad", "fpbad"} {
 		fs, err := Run(filepath.Join("testdata", "src", fixture))
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,3 @@
+module fpbad
+
+go 1.22

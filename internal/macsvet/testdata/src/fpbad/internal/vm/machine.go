@@ -1,0 +1,19 @@
+// Package vm is a fingerprint-rule fixture: a Machine whose Fingerprint
+// method forgot two fields — one named, one embedded.
+package vm
+
+import "fmt"
+
+type Geometry struct {
+	Banks int
+}
+
+type Machine struct {
+	VLMax       int
+	MemSlowdown float64
+	Geometry
+}
+
+func (m Machine) Fingerprint() string {
+	return fmt.Sprintf("vlmax=%d;", m.VLMax)
+}

@@ -9,6 +9,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -87,4 +88,81 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// ForEachCtx is ForEach under a context: once ctx is cancelled no new
+// index is launched — indices already running finish (fn is never
+// interrupted mid-flight; pass ctx into fn for that), and indices never
+// claimed simply do not run. It returns the lowest-index fn error if one
+// occurred before cancellation took effect, otherwise ctx.Err() when the
+// sweep was cut short, otherwise nil. The sequential workers <= 1 path
+// checks the context before every index, matching the parallel claim
+// loop.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		next     int
+		wg       sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		if ctx.Err() != nil {
+			return 0, false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if i < firstIdx {
+			firstIdx = i
+			firstErr = err
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync/atomic"
@@ -81,5 +82,95 @@ func TestForEachConcurrent(t *testing.T) {
 	}
 	if want := int64(n * (n - 1) / 2); sum.Load() != want {
 		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestForEachCtxNoCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 50
+		var seen [n]atomic.Int32
+		if err := ForEachCtx(context.Background(), workers, n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if c := seen[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachCtxCancelStopsLaunches: after cancellation no new index is
+// claimed; in-flight indices finish; the call reports ctx.Err().
+func TestForEachCtxCancelStopsLaunches(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int32
+		const n = 10_000
+		err := ForEachCtx(ctx, workers, n, func(i int) error {
+			if calls.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Every worker may have already claimed one index when cancel
+		// fires, but nothing close to the full space runs afterwards.
+		if c := calls.Load(); int(c) >= n {
+			t.Fatalf("workers=%d: all %d indices ran despite cancellation", workers, c)
+		}
+		cancel()
+	}
+}
+
+// TestForEachCtxPreCancelled: a context cancelled before the call runs
+// nothing at all.
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int32
+		err := ForEachCtx(ctx, workers, 100, func(i int) error {
+			calls.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		// Parallel workers race one claim against the ctx check, but a
+		// pre-cancelled context must stop the sequential path cold and
+		// bound the parallel path to at most one claim per worker.
+		if c := calls.Load(); int(c) > workers {
+			t.Fatalf("workers=%d: %d calls ran on a dead context", workers, c)
+		}
+	}
+	if err := ForEachCtx(ctx, 4, 0, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("empty range on dead context: %v", err)
+	}
+}
+
+// TestForEachCtxErrorBeatsCancel: an fn error recorded before
+// cancellation is reported in preference to ctx.Err(), and the
+// lowest-index rule still applies.
+func TestForEachCtxErrorBeatsCancel(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := ForEachCtx(ctx, workers, 100, func(i int) error {
+			if i == 3 {
+				cancel()
+				return boom
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
 	}
 }

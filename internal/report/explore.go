@@ -1,0 +1,104 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"macs/internal/explore"
+	"macs/internal/vm"
+)
+
+// MachineLabel describes a machine by how it differs from a reference
+// (normally the grid base): "banks=16 vlmax=64". The reference itself
+// reads "(base)". Sweep tables use it so a thousand-point grid stays
+// readable — only the knobs actually varied appear.
+func MachineLabel(m, ref vm.Machine) string {
+	var parts []string
+	add := func(name string, v, r any) {
+		if v != r {
+			parts = append(parts, fmt.Sprintf("%s=%v", name, v))
+		}
+	}
+	add("vlmax", m.VLMax, ref.VLMax)
+	add("banks", m.Banks, ref.Banks)
+	add("bank-cycle", m.BankCycle, ref.BankCycle)
+	add("refresh-period", m.RefreshPeriod, ref.RefreshPeriod)
+	add("refresh-len", m.RefreshLen, ref.RefreshLen)
+	add("bank-conflicts", m.BankConflicts, ref.BankConflicts)
+	add("refresh-stalls", m.RefreshStalls, ref.RefreshStalls)
+	add("mem-slowdown", m.MemSlowdown, ref.MemSlowdown)
+	add("scalar-load-lat", m.ScalarLoadLat, ref.ScalarLoadLat)
+	add("scalar-op-lat", m.ScalarOpLat, ref.ScalarOpLat)
+	add("branch-penalty", m.BranchPenalty, ref.BranchPenalty)
+	add("dispatch-lat", m.DispatchLat, ref.DispatchLat)
+	if m.Rules != ref.Rules {
+		add("chaining", m.Rules.Chaining, ref.Rules.Chaining)
+		add("no-memory-chaining", m.Rules.NoMemoryChaining, ref.Rules.NoMemoryChaining)
+		add("pair-rule", m.Rules.PairRule, ref.Rules.PairRule)
+		add("split-rule", m.Rules.SplitRule, ref.Rules.SplitRule)
+		add("bubbles", m.Rules.Bubbles, ref.Rules.Bubbles)
+	}
+	if len(parts) == 0 {
+		return "(base)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// ExploreTable renders a sweep's ranked outcome: the simulated survivors
+// best-first with measured cycles and the t_MACS bound they ran against,
+// then up to `losers` of the best pruned points with their fast-tier
+// scores. ref is the machine the labels diff against (normally the grid
+// base).
+func ExploreTable(sw *explore.Sweep, ref vm.Machine, losers int) string {
+	ranked := sw.Ranked()
+	rows := make([][]string, 0, sw.Simulated+losers)
+	for _, p := range ranked {
+		if !p.Simulated {
+			break
+		}
+		cpl := "-"
+		if p.CPL > 0 {
+			cpl = f3(p.CPL)
+		}
+		pcpl := "-"
+		if p.PredictedCPL > 0 {
+			pcpl = f3(p.PredictedCPL)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Rank), "sim",
+			fmt.Sprintf("%d", p.Cycles), cpl, pcpl,
+			f3(p.Bounds.TMACS), MachineLabel(p.Machine, ref),
+		})
+	}
+	shown := 0
+	for _, p := range ranked[sw.Simulated:] {
+		if shown >= losers {
+			break
+		}
+		shown++
+		pcpl := "-"
+		if p.PredictedCPL > 0 {
+			pcpl = f3(p.PredictedCPL)
+		}
+		rows = append(rows, []string{
+			"-", "pruned",
+			fmt.Sprintf("~%d", p.PredictedCycles), "-", pcpl,
+			f3(p.Bounds.TMACS), MachineLabel(p.Machine, ref),
+		})
+	}
+	title := fmt.Sprintf("Design-space sweep%s: %d points, %d simulated, %d pruned",
+		labelSuffix(sw.Name), sw.Swept, sw.Simulated, sw.Pruned)
+	if sw.Fallback {
+		title += " (data-dependent: exhaustive)"
+	}
+	return Render(title,
+		[]string{"rank", "stage", "cycles", "t_p", "t_pred", "t_MACS", "machine"},
+		rows)
+}
+
+func labelSuffix(name string) string {
+	if name == "" {
+		return ""
+	}
+	return " of " + name
+}

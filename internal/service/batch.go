@@ -54,11 +54,13 @@ func (s *Service) AnalyzeBatch(ctx context.Context, req BatchRequest, emit func(
 		return err
 	}
 
-	// par.ForEach clamps workers to the item count; bounding fan-out to
-	// the pool size keeps one batch from flooding the queue and shedding
-	// its own items.
+	// par.ForEachCtx clamps workers to the item count; bounding fan-out
+	// to the pool size keeps one batch from flooding the queue and
+	// shedding its own items. The context carries the client disconnect:
+	// once it fires, items not yet claimed are never launched, so an
+	// abandoned batch stops consuming the pool.
 	var emitMu sync.Mutex
-	err := par.ForEach(s.cfg.Workers, len(req.Items), func(i int) error {
+	err := par.ForEachCtx(ctx, s.cfg.Workers, len(req.Items), func(i int) error {
 		ictx, sp := obs.Start(ctx, "batch-item")
 		resp, err := s.Analyze(ictx, req.Items[i])
 		sp.End()

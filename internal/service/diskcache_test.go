@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"macs"
 )
 
 func TestDiskCacheRoundTrip(t *testing.T) {
@@ -216,5 +218,79 @@ func TestServiceUnusableCacheDir(t *testing.T) {
 	}
 	if m := s.Metrics(); m.Persistent.Enabled {
 		t.Fatal("persistent cache reported enabled over an unusable dir")
+	}
+}
+
+// TestConfigFingerprintMachineKeyed pins the cache keying scheme to the
+// canonical machine fingerprint: two services differing only in a machine
+// field (bank count) must not share persisted results, while run-bound
+// knobs that do not change result meaning for identical requests still
+// key independently. A fresh service over a cache dir written under a
+// different machine drops the stale segment on open.
+func TestConfigFingerprintMachineKeyed(t *testing.T) {
+	base := Config{Workers: 1, QueueSize: 4}
+	fpA, err := configFingerprint(base.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same config → same fingerprint (deterministic keying).
+	fpA2, err := configFingerprint(base.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpA != fpA2 {
+		t.Fatalf("fingerprint not deterministic")
+	}
+
+	// A machine change moves the fingerprint.
+	diff := base
+	diff.VM.Machine = macs.DefaultMachine()
+	diff.VM.Machine.Banks = 16
+	fpB, err := configFingerprint(diff.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpB == fpA {
+		t.Fatalf("bank-count change did not move the cache fingerprint")
+	}
+
+	// A run-bound change (instruction budget) also moves it — budgets can
+	// change whether a result exists at all.
+	run := base
+	run.VM.MaxInstrs = 12345
+	fpC, err := configFingerprint(run.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpC == fpA {
+		t.Fatalf("run-config change did not move the cache fingerprint")
+	}
+
+	// End to end: a cache written under machine A self-invalidates when a
+	// service with machine B opens the same directory.
+	dir := t.TempDir()
+	cfgA := Config{Workers: 2, QueueSize: 8, CacheDir: dir}
+	sA := New(cfgA)
+	if _, err := sA.Analyze(context.Background(), AnalyzeRequest{Source: saxpySrc, Iterations: 16,
+		Prime: Priming{Ints: map[string]int64{"N": 16}}}); err != nil {
+		t.Fatal(err)
+	}
+	if w := sA.Metrics().Persistent.Writes; w != 1 {
+		t.Fatalf("machine A wrote %d entries, want 1", w)
+	}
+	sA.Close()
+
+	cfgB := cfgA
+	cfgB.VM.Machine = macs.DefaultMachine()
+	cfgB.VM.Machine.Banks = 16
+	sB := New(cfgB)
+	defer sB.Close()
+	m := sB.Metrics()
+	if !m.Persistent.Enabled {
+		t.Fatal("persistent cache not enabled under machine B")
+	}
+	if m.Persistent.Invalidated != 1 || m.Persistent.Entries != 0 {
+		t.Fatalf("machine change did not invalidate the cache: %+v", m.Persistent)
 	}
 }

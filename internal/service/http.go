@@ -28,6 +28,10 @@ const maxBodyBytes = 4 << 20
 //	POST /v1/batch     many kernels in one request; per-kernel results
 //	                   stream back as NDJSON lines in completion order
 //	                   (?tier= overrides every item's tier)
+//	POST /v1/explore   design-space sweep: a machine-parameter grid over one
+//	                   kernel; each simulated survivor streams back as an
+//	                   NDJSON "point" event, then a "done" event carries the
+//	                   ranked summary (bounded, cancellable, cached whole)
 //	POST /v1/bound     bounds hierarchy only
 //	POST /v1/check     static verification only (diagnostics, no execution)
 //	POST /v1/ax        A-process / X-process measurement
@@ -62,6 +66,9 @@ func NewHandler(s *Service) http.Handler {
 	}))
 	mux.HandleFunc("POST /v1/batch", traced(s, "batch", func(w http.ResponseWriter, r *http.Request) {
 		handleBatch(s, w, r)
+	}))
+	mux.HandleFunc("POST /v1/explore", traced(s, "explore", func(w http.ResponseWriter, r *http.Request) {
+		handleExplore(s, w, r)
 	}))
 	mux.HandleFunc("POST /v1/bound", traced(s, "bound", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(s, w, r, func(ctx context.Context, req BoundRequest) (BoundResponse, error) {
@@ -212,6 +219,49 @@ func handleBatch(s *Service, w http.ResponseWriter, r *http.Request) {
 		// The stream already carries a 200; all we can do is log-level
 		// surface via a final error line (emit was never called).
 		enc.Encode(BatchItemResult{Index: -1, Error: err.Error()}) //nolint:errcheck // client went away
+	}
+}
+
+// handleExplore decodes a sweep request and streams its events back as
+// NDJSON: one "point" line per simulated survivor as it completes, then
+// the "done" summary line. Sweep-level failures (bad grid, too many
+// points, closed service) answer with a JSON error status before the
+// stream starts; a failure mid-sweep becomes a terminal "error" line.
+func handleExplore(s *Service, w http.ResponseWriter, r *http.Request) {
+	var req ExploreRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	// Validate before committing to a 200 stream: once the NDJSON body
+	// starts, the status line is gone.
+	if _, err := s.checkExplore(req); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	err := s.Explore(ctx, req, func(ev ExploreEvent) {
+		enc.Encode(ev) //nolint:errcheck // client went away
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	if err != nil {
+		enc.Encode(ExploreEvent{Type: "error", Error: err.Error()}) //nolint:errcheck // client went away
 	}
 }
 

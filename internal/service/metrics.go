@@ -164,6 +164,9 @@ type Snapshot struct {
 	// FastTier reports the analytical tier: requests served, fallbacks,
 	// and the live predicted-vs-simulated divergence per kernel class.
 	FastTier FastTierStats `json:"fast_tier"`
+	// Explore reports the design-space sweep economics: sweeps completed
+	// and grid points scored, pruned and simulated.
+	Explore ExploreStats `json:"explore"`
 	// Persistent reports the disk-backed second-level cache; all-zero
 	// (Enabled false) when the service runs memory-only.
 	Persistent DiskCacheStats `json:"persistent_cache"`

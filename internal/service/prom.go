@@ -153,6 +153,21 @@ func RenderProm(snap Snapshot) []byte {
 			"Max |predicted-simulated|/simulated by calibration class.", maxes...)
 	}
 
+	w.Counter("macsd_explore_sweeps_total", "Completed fresh design-space sweeps.",
+		obs.Sample{Value: float64(snap.Explore.Sweeps)})
+	w.Counter("macsd_explore_points_swept_total",
+		"Grid points scored by the fast tier across all sweeps.",
+		obs.Sample{Value: float64(snap.Explore.Swept)})
+	w.Counter("macsd_explore_points_pruned_total",
+		"Grid points answered analytically without simulation.",
+		obs.Sample{Value: float64(snap.Explore.Pruned)})
+	w.Counter("macsd_explore_points_simulated_total",
+		"Grid points promoted to exact simulation.",
+		obs.Sample{Value: float64(snap.Explore.Simulated)})
+	w.Gauge("macsd_explore_machines",
+		"Distinct machine descriptions with warm evaluator state.",
+		obs.Sample{Value: float64(snap.Explore.Machines)})
+
 	if !snap.Runtime.SampledAt.IsZero() {
 		rt := snap.Runtime
 		w.Gauge("go_goroutines", "Goroutines at the last runtime sample.",

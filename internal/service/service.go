@@ -23,6 +23,7 @@ import (
 
 	"macs"
 	"macs/internal/compiler"
+	"macs/internal/explore"
 	"macs/internal/obs"
 )
 
@@ -136,6 +137,18 @@ func mergeVMDefaults(c, d macs.VMConfig) macs.VMConfig {
 	if c.Rules == (macs.Rules{}) {
 		c.Rules = d.Rules
 	}
+	if c.Banks == 0 {
+		c.Banks = d.Banks
+	}
+	if c.BankCycle == 0 {
+		c.BankCycle = d.BankCycle
+	}
+	if c.RefreshPeriod == 0 {
+		c.RefreshPeriod = d.RefreshPeriod
+	}
+	if c.RefreshLen == 0 {
+		c.RefreshLen = d.RefreshLen
+	}
 	if c.MemSlowdown == 0 {
 		c.MemSlowdown = d.MemSlowdown
 	}
@@ -206,6 +219,17 @@ type Service struct {
 	// by auto-tier requests, so Close drains them.
 	verifyWG sync.WaitGroup
 
+	// explorers is the shared per-machine evaluator registry behind
+	// /v1/explore: simulator pools and fast-tier prediction memos keyed by
+	// canonical machine fingerprint, kept warm across sweep requests.
+	explorers *explore.Evaluators
+	// explore sweep economics: grid points scored, answered analytically,
+	// and simulated exactly, across every fresh sweep.
+	exploreSweeps    atomic.Int64
+	exploreSwept     atomic.Int64
+	explorePruned    atomic.Int64
+	exploreSimulated atomic.Int64
+
 	dedupShared  atomic.Int64
 	pipelineRuns atomic.Int64
 	// simCycles totals the simulated clock cycles of every fresh exact
@@ -242,6 +266,7 @@ func New(cfg Config) *Service {
 		metrics:    NewMetrics(),
 		log:        cfg.Logger,
 		analyzer:   macs.NewAnalyzer(cfg.VM),
+		explorers:  explore.NewEvaluators(cfg.VM),
 		flights:    make(map[Key]*flight),
 		fastTier:   newFastTierTracker(),
 		attrTotals: make(map[string]int64),
@@ -268,12 +293,17 @@ func New(cfg Config) *Service {
 
 // configFingerprint hashes everything that determines a cached result's
 // meaning: the persistent-cache schema version and the pipeline
-// configuration. Segments written under a different fingerprint are
-// dropped on open, so stale schemas and stale machine models
+// configuration. The machine half goes in through the canonical
+// vm.Machine fingerprint — the same keying scheme the prediction memo
+// and the explore engine use — and the run-bound remainder of the VM
+// config rides alongside. Segments written under a different fingerprint
+// are dropped on open, so stale schemas and stale machine models
 // self-invalidate.
 func configFingerprint(cfg Config) (string, error) {
+	run := cfg.VM
+	run.Machine = macs.Machine{} // keyed separately via Fingerprint
 	k, err := NewKey("cache-fingerprint", fmt.Sprintf("v%d", diskCacheVersion),
-		cfg.Compiler, cfg.VM, cfg.Rules)
+		cfg.Compiler, cfg.VM.Machine.Fingerprint(), run, cfg.Rules)
 	return string(k), err
 }
 
@@ -383,6 +413,7 @@ func (s *Service) Metrics() Snapshot {
 		StallCycles:   s.stallCycles(),
 		SimPool:       s.simPool(),
 		FastTier:      s.fastTier.snapshot(),
+		Explore:       s.exploreStats(),
 		Persistent:    s.diskStats(),
 		SimCycles:     s.simCycles.Load(),
 		Runtime:       s.sampler.Stats(), // nil-safe: zero when off

@@ -187,11 +187,11 @@ func TestCloseDrainsInFlightRequests(t *testing.T) {
 // memory model, VLMax left unset) used to be thrown away wholesale and
 // replaced with the defaults. Only the zero fields may be defaulted.
 func TestWithDefaultsPartialVMConfig(t *testing.T) {
-	cfg := Config{VM: macs.VMConfig{
+	cfg := Config{VM: macs.VMConfig{Machine: macs.Machine{
 		MemSlowdown:   2.5,
 		BankConflicts: true,
 		RefreshStalls: true,
-	}}
+	}}}
 	got := cfg.withDefaults().VM
 	if got.MemSlowdown != 2.5 {
 		t.Fatalf("partial VM config clobbered: MemSlowdown = %v, want 2.5", got.MemSlowdown)
@@ -220,7 +220,7 @@ func TestWithDefaultsPartialVMConfig(t *testing.T) {
 
 	// The partially-configured service actually works end to end.
 	s := newTestService(t, Config{Workers: 1, QueueSize: 4,
-		VM: macs.VMConfig{MemSlowdown: 2.0, BankConflicts: true, RefreshStalls: true}})
+		VM: macs.VMConfig{Machine: macs.Machine{MemSlowdown: 2.0, BankConflicts: true, RefreshStalls: true}}})
 	r, err := s.Analyze(context.Background(), AnalyzeRequest{Source: saxpySrc, Iterations: 32,
 		Prime: Priming{Ints: map[string]int64{"N": 32}}})
 	if err != nil {

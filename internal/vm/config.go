@@ -25,30 +25,19 @@
 package vm
 
 import (
-	"macs/internal/core"
 	"macs/internal/isa"
 )
 
-// Config controls the simulated machine. Use DefaultConfig and adjust.
+// Config controls one simulation: the Machine being simulated (embedded,
+// so the machine knobs read as cfg.VLMax, cfg.Banks, ... exactly as
+// before the split) plus the run-bound settings — memory image size,
+// runaway budgets, the memory-path selector and tracing. Use
+// DefaultConfig and adjust.
 type Config struct {
-	// VLMax is the hardware vector length (128 on the C-240).
-	VLMax int
-	// Rules are the chime formation rules shared with the MACS model.
-	Rules core.Rules
-	// BankConflicts enables bank-busy stalls for non-unit strides.
-	BankConflicts bool
-	// RefreshStalls enables real 8-cycle refresh stalls in vector memory
-	// streams (every 400 cycles).
-	RefreshStalls bool
-	// MemSlowdown multiplies the per-element cost of vector memory
-	// streams and scalar memory latency; >1 models multi-process memory
-	// contention (paper §4.2). 1.0 means an otherwise idle machine.
-	MemSlowdown float64
-	// Scalar timing: ASU latencies in cycles.
-	ScalarLoadLat int // scalar load/store
-	ScalarOpLat   int // scalar ALU op, move, compare
-	BranchPenalty int // extra cycles for a taken branch
-	DispatchLat   int // ASU cycles to dispatch a vector instruction
+	// Machine describes the simulated hardware; see vm.Machine. Its
+	// fields are promoted, and it marshals flat, so the wire and cache-key
+	// shape of a Config predates the machine/run split.
+	Machine
 	// MemSize is the size of the simulated memory in bytes.
 	MemSize int64
 	// MaxCycles and MaxInstrs abort runaway programs.
@@ -72,19 +61,19 @@ type Config struct {
 // DefaultConfig returns the standard C-240 configuration.
 func DefaultConfig() Config {
 	return Config{
-		VLMax:         isa.VLMax,
-		Rules:         core.DefaultRules(),
-		BankConflicts: true,
-		RefreshStalls: true,
-		MemSlowdown:   1.0,
-		ScalarLoadLat: 4,
-		ScalarOpLat:   1,
-		BranchPenalty: 2,
-		DispatchLat:   1,
-		MemSize:       16 << 20,
-		MaxCycles:     1 << 40,
-		MaxInstrs:     200_000_000,
+		Machine:   DefaultMachine(),
+		MemSize:   16 << 20,
+		MaxCycles: 1 << 40,
+		MaxInstrs: 200_000_000,
 	}
+}
+
+// WithMachine returns the run configuration with its machine description
+// replaced — the explore engine's way of stamping one run template over
+// every point of a sweep.
+func (c Config) WithMachine(m Machine) Config {
+	c.Machine = m
+	return c
 }
 
 // Stats aggregates a run's outcome.

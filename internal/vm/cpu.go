@@ -92,8 +92,7 @@ func New(cfg Config) *CPU {
 		c.v[i] = make([]float64, cfg.VLMax)
 	}
 	c.vscratch = make([]float64, cfg.VLMax)
-	c.bankCfg = mem.DefaultConfig()
-	c.bankCfg.RefreshEnabled = cfg.RefreshStalls
+	c.bankCfg = cfg.BankConfig()
 	if (cfg.BankConflicts || cfg.RefreshStalls) && !cfg.NaiveMemPath {
 		c.stallTab = mem.NewStallTable(c.bankCfg)
 	}

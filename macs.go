@@ -73,8 +73,11 @@ type (
 	Stats = vm.Stats
 	// CPU is one simulated Convex C-240 processor.
 	CPU = vm.CPU
-	// VMConfig configures the simulator.
+	// VMConfig configures the simulator: a Machine plus run-bound knobs.
 	VMConfig = vm.Config
+	// Machine is the hardware description embedded in VMConfig; its
+	// canonical Fingerprint keys every per-machine cache.
+	Machine = vm.Machine
 	// CompilerOptions configures the vectorizing compiler.
 	CompilerOptions = compiler.Options
 	// Kernel is one Livermore kernel of the case study.
@@ -165,6 +168,7 @@ const (
 // Defaults for the C-240 configuration.
 func DefaultRules() Rules                       { return core.DefaultRules() }
 func DefaultVMConfig() VMConfig                 { return vm.DefaultConfig() }
+func DefaultMachine() Machine                   { return vm.DefaultMachine() }
 func DefaultCompilerOptions() CompilerOptions   { return compiler.DefaultOptions() }
 func DefaultExperimentConfig() ExperimentConfig { return experiments.Default() }
 
@@ -286,6 +290,16 @@ func boundProgram(src string, prog *Program, vl int, rules Rules) (Analysis, err
 	return a, nil
 }
 
+// BoundCompiled computes the MA/MAC/MACS hierarchy (plus the t_CP
+// critical path) of an already-compiled program under an explicit vector
+// length and rule set — the model half of BoundSource for callers that
+// compile once and bound many machine variants (the explore engine). src
+// must be the source prog was compiled from: the MA workload comes from
+// the high-level code.
+func BoundCompiled(src string, prog *Program, vl int, rules Rules) (Analysis, error) {
+	return boundProgram(src, prog, vl, rules)
+}
+
 // BoundSource compiles src and computes the MA/MAC/MACS bounds hierarchy
 // of its inner loop without running the simulator — the cheap half of
 // AnalyzeSource, for callers that only want the model.
@@ -318,6 +332,20 @@ func AnalyzeSourceVM(src string, iterations int64, cfg VMConfig, prime func(*CPU
 	return AnalyzeSourceVMCtx(context.Background(), src, iterations, cfg, prime)
 }
 
+// compilerOptionsFor clamps the default compile options to a simulator
+// configuration's machine: a program's strip length is fixed at compile
+// time (the strip loop advances by the compile-time VL), so a machine
+// with VLMax below the ISA ceiling needs its loops strip-mined at its
+// own length — compiled longer, the hardware would clamp every strip and
+// silently skip elements.
+func compilerOptionsFor(cfg VMConfig) CompilerOptions {
+	opts := compiler.DefaultOptions()
+	if cfg.VLMax > 0 && cfg.VLMax < opts.VL {
+		opts.VL = cfg.VLMax
+	}
+	return opts
+}
+
 // AnalyzeSourceVMCtx is AnalyzeSourceVM under a context: every pipeline
 // stage (compile, verify, bound, load, prime, simulate) records a span on
 // the trace riding ctx, and the run's vector timing events are attached
@@ -332,7 +360,7 @@ func AnalyzeSourceVMCtx(ctx context.Context, src string, iterations int64, cfg V
 // Analyzer.AnalyzeSource.
 func analyzeOn(ctx context.Context, cpu *vm.CPU, src string, iterations int64, cfg VMConfig, prime func(*CPU) error) (Result, error) {
 	var res Result
-	prog, a, err := boundSource(ctx, src, compiler.DefaultOptions(), cfg.VLMax, cfg.Rules)
+	prog, a, err := boundSource(ctx, src, compilerOptionsFor(cfg), cfg.VLMax, cfg.Rules)
 	res.Program = prog
 	if err != nil {
 		return res, err
@@ -471,7 +499,7 @@ func (a *Analyzer) PredictSource(src string, iterations int64, ints map[string]i
 // and bound stages plus a "predict" span land on the trace riding ctx.
 func (a *Analyzer) PredictSourceCtx(ctx context.Context, src string, iterations int64, ints map[string]int64) (FastResult, error) {
 	var res FastResult
-	prog, an, err := boundSource(ctx, src, compiler.DefaultOptions(), a.cfg.VLMax, a.cfg.Rules)
+	prog, an, err := boundSource(ctx, src, compilerOptionsFor(a.cfg), a.cfg.VLMax, a.cfg.Rules)
 	res.Program = prog
 	if err != nil {
 		return res, err
@@ -499,7 +527,7 @@ func (a *Analyzer) PredictSourceInterval(src string, iterations int64, ints map[
 // the trace riding ctx.
 func (a *Analyzer) PredictSourceIntervalCtx(ctx context.Context, src string, iterations int64, ints map[string]int64) (FastResult, error) {
 	var res FastResult
-	prog, an, err := boundSource(ctx, src, compiler.DefaultOptions(), a.cfg.VLMax, a.cfg.Rules)
+	prog, an, err := boundSource(ctx, src, compilerOptionsFor(a.cfg), a.cfg.VLMax, a.cfg.Rules)
 	res.Program = prog
 	if err != nil {
 		return res, err
@@ -516,7 +544,7 @@ func (a *Analyzer) PredictSourceIntervalCtx(ctx context.Context, src string, ite
 // simulator configuration's machine parameters.
 func PredictSource(src string, iterations int64, cfg VMConfig, ints map[string]int64) (FastResult, error) {
 	var res FastResult
-	prog, an, err := boundSource(context.Background(), src, compiler.DefaultOptions(), cfg.VLMax, cfg.Rules)
+	prog, an, err := boundSource(context.Background(), src, compilerOptionsFor(cfg), cfg.VLMax, cfg.Rules)
 	res.Program = prog
 	if err != nil {
 		return res, err
